@@ -1,0 +1,64 @@
+"""F10: regenerate Figure 10 (WebQoE heatmaps, access testbed)."""
+
+from repro.core.paper_data import FIG10A, FIG10B
+from repro.core.web_study import fig10_grid, render_fig10
+
+from benchmarks.common import comparison_table, run_once, scale, scaled_count
+
+BUFFERS = (8, 64, 256)
+WORKLOADS = ("noBG", "long-few", "long-many", "short-few")
+
+
+def _table(results, paper, workloads, buffers, title):
+    rows = []
+    for workload in workloads:
+        for packets in buffers:
+            cell = results[(workload, packets)]
+            rows.append((workload, packets,
+                         "%.1f / %.1f" % (cell["median_plt"],
+                                          paper[(workload, packets)]),
+                         "%.1f" % cell["mos"]))
+    comparison_table(title, ("workload", "buffer", "PLT s ours/paper", "MOS"),
+                     rows)
+
+
+def test_fig10a_download_activity(benchmark):
+    fetches = scaled_count(8, minimum=4)
+    buffers = BUFFERS if scale() < 4 else (8, 16, 32, 64, 128, 256)
+
+    def run():
+        return fig10_grid("down", buffers, workloads=WORKLOADS,
+                          fetches=fetches, warmup=8.0, seed=5)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig10(results, "down", buffers, workloads=WORKLOADS))
+    _table(results, FIG10A, WORKLOADS, buffers,
+           "Figure 10a (ours/paper): PLT under download congestion")
+    # Baseline is excellent; long-many pins the page load regardless of
+    # buffer; long-few shows the bufferbloat PLT growth with buffer size.
+    assert results[("noBG", 64)]["median_plt"] < 1.0
+    assert results[("long-many", 64)]["median_plt"] > 2.0
+    assert (results[("long-few", 256)]["median_plt"]
+            > results[("long-few", 8)]["median_plt"])
+
+
+def test_fig10b_upload_activity(benchmark):
+    fetches = scaled_count(6, minimum=3)
+
+    def run():
+        return fig10_grid("up", BUFFERS, workloads=("noBG", "long-few",
+                                                    "short-many"),
+                          fetches=fetches, warmup=8.0, seed=5)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig10(results, "up", BUFFERS,
+                       workloads=("noBG", "long-few", "short-many")))
+    _table(results, FIG10B, ("noBG", "long-few", "short-many"), BUFFERS,
+           "Figure 10b (ours/paper): PLT under upload congestion")
+    # Upload congestion wrecks the page load; small uplink buffers keep
+    # long-few barely acceptable (the paper's only tolerable upload cell).
+    assert results[("long-few", 8)]["median_plt"] < 3.0
+    assert results[("long-few", 256)]["median_plt"] > 4.0
+    assert results[("short-many", 64)]["median_plt"] > 4.0

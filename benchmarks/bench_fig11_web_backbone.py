@@ -1,0 +1,41 @@
+"""F11: regenerate Figure 11 (WebQoE heatmap, backbone testbed)."""
+
+from repro.core.paper_data import FIG11
+from repro.core.web_study import fig11_grid, render_fig10
+
+from benchmarks.common import comparison_table, run_once, scale, scaled_count
+
+BUFFERS = (8, 749, 7490)
+WORKLOADS = ("noBG", "short-medium", "long")
+
+
+def test_fig11(benchmark):
+    fetches = scaled_count(5, minimum=3)
+    workloads = WORKLOADS if scale() < 2 else (
+        "noBG", "short-low", "short-medium", "short-high",
+        "short-overload", "long")
+
+    def run():
+        return fig11_grid(BUFFERS, workloads=workloads, fetches=fetches,
+                          warmup=15.0, seed=5)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig10(results, "backbone", BUFFERS, workloads=workloads,
+                       title="Figure 11"))
+    rows = []
+    for workload in workloads:
+        for packets in BUFFERS:
+            cell = results[(workload, packets)]
+            rows.append((workload, packets,
+                         "%.1f / %.1f" % (cell["median_plt"],
+                                          FIG11[(workload, packets)]),
+                         "%.1f" % cell["mos"]))
+    comparison_table("Figure 11 (ours/paper): backbone PLT",
+                     ("workload", "buffer", "PLT s ours/paper", "MOS"), rows)
+    # Baseline and light load are fine at every size; the sustained long
+    # workload degrades PLT, worst with the 10x BDP buffer (RTT-dominated).
+    assert results[("noBG", 749)]["median_plt"] < 1.2
+    assert results[("short-medium", 749)]["median_plt"] < 1.5
+    assert (results[("long", 7490)]["median_plt"]
+            > results[("noBG", 7490)]["median_plt"])

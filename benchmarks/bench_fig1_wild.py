@@ -1,0 +1,36 @@
+"""F1: regenerate Figure 1 (queueing in the wild) and §3's statistics."""
+
+from repro.core.paper_data import WILD_STATS
+from repro.wild import analyze, generate_dataset
+from repro.wild.analysis import render_fig1
+
+from benchmarks.common import comparison_table, run_once, scaled_count
+
+
+def test_fig1_wild(benchmark):
+    n_flows = scaled_count(150_000, minimum=30_000)
+
+    def run():
+        dataset = generate_dataset(n_flows=n_flows, seed=7)
+        return analyze(dataset)
+
+    analysis = run_once(benchmark, run)
+    print()
+    print(render_fig1(analysis))
+    rows = [
+        ("queueing < 100 ms", "%.1f%%" % (analysis.stats["qd_below_100ms"] * 100),
+         "%.0f%%" % (WILD_STATS["qd_below_100ms"] * 100)),
+        ("queueing > 500 ms", "%.2f%%" % (analysis.stats["qd_above_500ms"] * 100),
+         "%.1f%%" % (WILD_STATS["qd_above_500ms"] * 100)),
+        ("queueing > 1 s", "%.2f%%" % (analysis.stats["qd_above_1s"] * 100),
+         "%.0f%%" % (WILD_STATS["qd_above_1s"] * 100)),
+        ("near flows < 100 ms", "%.1f%%" % (analysis.stats["near_qd_below_100ms"] * 100),
+         "%.0f%%" % (WILD_STATS["near_qd_below_100ms"] * 100)),
+    ]
+    comparison_table("Figure 1 / §3 statistics (ours vs paper)",
+                     ("statistic", "ours", "paper"), rows)
+    # Shape assertions: modest queueing dominates; the bufferbloat tail
+    # exists but is small.
+    assert analysis.stats["qd_below_100ms"] > 0.7
+    assert 0.005 < analysis.stats["qd_above_500ms"] < 0.06
+    assert analysis.stats["qd_above_1s"] < analysis.stats["qd_above_500ms"]

@@ -1,0 +1,25 @@
+"""F5: regenerate Figure 5 (utilization boxplots, bidirectional long)."""
+
+from repro.core.study import fig5_utilization, render_fig5
+
+from benchmarks.common import run_once, scaled_duration
+
+
+def test_fig5(benchmark):
+    duration = scaled_duration(15.0, minimum=10.0)
+
+    def run():
+        return fig5_utilization(warmup=8.0, duration=duration, seed=1)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig5(results))
+    # Paper shape: the uplink is pinned near 100% at every size; the
+    # downlink suffers when the uplink buffer bloats the ACK path, and
+    # small buffers underutilize relative to the best configuration.
+    up_medians = {p: r.up_utilization_boxplot()[2] for p, r in results.items()}
+    down_medians = {p: r.down_utilization_boxplot()[2]
+                    for p, r in results.items()}
+    assert min(up_medians.values()) > 0.8
+    assert max(down_medians.values()) > 0.55
+    assert min(down_medians.values()) < max(down_medians.values())

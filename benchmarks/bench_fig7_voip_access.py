@@ -1,0 +1,70 @@
+"""F7: regenerate Figure 7 (VoIP MOS heatmaps, access testbed)."""
+
+from repro.core.paper_data import FIG7A_LISTENS, FIG7B_LISTENS, FIG7B_TALKS
+from repro.core.voip_study import fig7_grid, render_fig7
+
+from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+
+BUFFERS = (8, 64, 256)
+WORKLOADS = ("noBG", "long-few", "long-many")
+
+
+def test_fig7b_upload_activity(benchmark):
+    """The headline bufferbloat result: upload congestion."""
+    duration = scaled_duration(8.0, minimum=5.0)
+    buffers = BUFFERS if scale() < 4 else (8, 16, 32, 64, 128, 256)
+    workloads = WORKLOADS if scale() < 4 else (
+        "noBG", "long-few", "long-many", "short-few", "short-many")
+
+    def run():
+        return fig7_grid("up", buffers, workloads=workloads, calls=1,
+                         warmup=10.0, duration=duration, seed=3)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig7(results, "up", buffers, workloads=workloads))
+    rows = []
+    for workload in workloads:
+        for packets in buffers:
+            cell = results[(workload, packets)]
+            rows.append((workload, packets,
+                         "%.1f / %.1f" % (cell["talks"],
+                                          FIG7B_TALKS[(workload, packets)]),
+                         "%.1f / %.1f" % (cell["listens"],
+                                          FIG7B_LISTENS[(workload, packets)])))
+    comparison_table("Figure 7b (ours/paper): MOS under upload congestion",
+                     ("workload", "buffer", "talks", "listens"), rows)
+    # noBG is excellent everywhere; congested talks at a bloated buffer is
+    # terrible; the listening direction degrades too (conversational z2).
+    assert results[("noBG", 64)]["talks"] > 3.9
+    assert results[("long-many", 256)]["talks"] < 1.8
+    assert results[("long-many", 256)]["listens"] < 3.3
+    # Shrinking the uplink buffer mitigates (the paper's 2.5-point swing).
+    assert (results[("long-many", 8)]["talks"]
+            > results[("long-many", 256)]["talks"])
+
+
+def test_fig7a_download_activity(benchmark):
+    duration = scaled_duration(8.0, minimum=5.0)
+
+    def run():
+        return fig7_grid("down", BUFFERS, workloads=WORKLOADS, calls=1,
+                         warmup=8.0, duration=duration, seed=3)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig7(results, "down", BUFFERS, workloads=WORKLOADS))
+    rows = []
+    for workload in WORKLOADS:
+        for packets in BUFFERS:
+            cell = results[(workload, packets)]
+            rows.append((workload, packets, "%.1f" % cell["talks"],
+                         "%.1f / %.1f" % (cell["listens"],
+                                          FIG7A_LISTENS[(workload, packets)])))
+    comparison_table("Figure 7a (ours/paper): MOS under download congestion",
+                     ("workload", "buffer", "talks", "listens/paper"), rows)
+    # Download congestion hurts the listening direction, not talking, and
+    # far less than upload congestion does.
+    assert results[("long-many", 64)]["talks"] > 3.5
+    assert (results[("long-many", 64)]["listens"]
+            < results[("noBG", 64)]["listens"])

@@ -1,0 +1,66 @@
+"""F9: regenerate Figure 9 (RTP video SSIM heatmaps)."""
+
+from repro.core.paper_data import FIG9A_HD, FIG9A_SD
+from repro.core.video_study import fig9_grid, render_fig9
+
+from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+
+ACCESS_BUFFERS = (8, 64, 256)
+ACCESS_WORKLOADS = ("noBG", "long-few", "long-many")
+BACKBONE_BUFFERS = (749, 7490)
+BACKBONE_WORKLOADS = ("noBG", "short-medium", "long")
+
+
+def test_fig9a_access(benchmark):
+    duration = scaled_duration(6.0, minimum=4.0)
+    workloads = ACCESS_WORKLOADS if scale() < 4 else (
+        "noBG", "long-few", "long-many", "short-few", "short-many")
+
+    def run():
+        return fig9_grid("access", ACCESS_BUFFERS, workloads=workloads,
+                         duration=duration, warmup=6.0, seed=4)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig9(results, "access", ACCESS_BUFFERS, workloads=workloads))
+    rows = []
+    for workload in workloads:
+        for packets in ACCESS_BUFFERS:
+            sd = results[(workload, packets, "SD")]
+            hd = results[(workload, packets, "HD")]
+            rows.append((workload, packets,
+                         "%.2f / %.2f" % (sd["ssim"],
+                                          FIG9A_SD[(workload, packets)]),
+                         "%.2f / %.2f" % (hd["ssim"],
+                                          FIG9A_HD[(workload, packets)])))
+    comparison_table("Figure 9a (ours/paper): access SSIM",
+                     ("workload", "buffer", "SD", "HD"), rows)
+    # Binary behaviour: clean without congestion at every buffer size,
+    # bad whenever long flows congest the downlink — and largely
+    # independent of the buffer size.
+    for packets in ACCESS_BUFFERS:
+        assert results[("noBG", packets, "SD")]["ssim"] > 0.99
+        assert results[("long-many", packets, "SD")]["ssim"] < 0.75
+    # HD weathers loss slightly better than SD (paper's observation).
+    assert (results[("long-few", 64, "HD")]["ssim"]
+            >= results[("long-few", 64, "SD")]["ssim"] - 0.05)
+
+
+def test_fig9b_backbone(benchmark):
+    duration = scaled_duration(6.0, minimum=4.0)
+
+    def run():
+        return fig9_grid("backbone", BACKBONE_BUFFERS,
+                         workloads=BACKBONE_WORKLOADS, duration=duration,
+                         warmup=12.0, seed=4)
+
+    results = run_once(benchmark, run)
+    print()
+    print(render_fig9(results, "backbone", BACKBONE_BUFFERS,
+                      workloads=BACKBONE_WORKLOADS))
+    # noBG and light load stream cleanly; the sustained long workload
+    # degrades the stream regardless of buffer size.
+    for packets in BACKBONE_BUFFERS:
+        assert results[("noBG", packets, "SD")]["ssim"] > 0.99
+    assert (results[("long", 749, "SD")]["ssim"]
+            < results[("noBG", 749, "SD")]["ssim"])

@@ -1,0 +1,30 @@
+"""T2: regenerate Table 2 (buffer sizes and maximum queueing delays)."""
+
+from repro.core.buffers import access_buffer_delays, backbone_buffer_delays
+from repro.core.paper_data import TABLE2_ACCESS, TABLE2_BACKBONE
+
+from benchmarks.common import comparison_table, run_once
+
+
+def test_table2(benchmark):
+    access, backbone = run_once(
+        benchmark, lambda: (access_buffer_delays(), backbone_buffer_delays()))
+    rows = []
+    for packets, up, down in access:
+        paper_up, paper_down = TABLE2_ACCESS[packets]
+        rows.append(("access", packets,
+                     "%.0f / %.0f" % (up * 1000, paper_up),
+                     "%.0f / %.0f" % (down * 1000, paper_down)))
+    for packets, delay in backbone:
+        rows.append(("backbone", packets,
+                     "%.1f / %.1f" % (delay * 1000, TABLE2_BACKBONE[packets]),
+                     ""))
+    comparison_table(
+        "Table 2: max queueing delay, measured/paper [ms]",
+        ("testbed", "packets", "uplink (ours/paper)", "downlink (ours/paper)"),
+        rows)
+    # The analytic delays must track the paper within framing tolerance.
+    for packets, up, down in access:
+        paper_up, paper_down = TABLE2_ACCESS[packets]
+        assert abs(up * 1000 - paper_up) / paper_up < 0.15
+        assert abs(down * 1000 - paper_down) / paper_down < 0.25

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale and prints measured values next to the paper's reported
+ones.  ``REPRO_SCALE`` (float, default 1.0) multiplies simulated
+durations / repetition counts; raise it for higher-fidelity runs::
+
+    REPRO_SCALE=4 pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+
+def scale():
+    """Global fidelity knob."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled_duration(base, minimum=4.0):
+    """Simulated seconds for a measurement window at the current scale."""
+    return max(minimum, base * scale())
+
+
+def scaled_count(base, minimum=1):
+    """Repetition count at the current scale."""
+    return max(minimum, int(round(base * scale())))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeating them
+    measures nothing new and multiplies runtime.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def comparison_table(title, headers, rows):
+    """Print an aligned paper-vs-measured table (shown with ``-s``)."""
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["", "=== %s ===" % title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    text = "\n".join(lines)
+    print(text)
+    return text

@@ -1,0 +1,29 @@
+"""Figure 8 + 11 in miniature: one backbone sweep, two applications.
+
+Runs the OC-3 backbone testbed from idle to a sustained long-flow
+workload across three buffer schemes (tiny / BDP / 10x BDP) and scores
+both a VoIP call and a web page fetch per cell — the paper's
+demonstration that the *workload row*, not the *buffer column*, decides
+the user experience.
+
+Run:  python examples/backbone_sweep.py   (takes a couple of minutes)
+"""
+
+from repro.core.scenarios import backbone_scenario
+from repro.core.voip_study import median_mos, run_voip_cell
+from repro.core.web_study import run_web_cell
+
+BUFFERS = (8, 749, 7490)  # ~TinyBuf / BDP / 10x BDP
+WORKLOADS = ("noBG", "short-medium", "long")
+
+print("%-14s %-6s %-10s %-12s" % ("workload", "buf", "VoIP MOS", "web PLT"))
+for workload in WORKLOADS:
+    scenario = backbone_scenario(workload)
+    for packets in BUFFERS:
+        voip = run_voip_cell(scenario, packets, calls=1, warmup=10.0,
+                             duration=5.0, seed=3, directions=("listens",))
+        web = run_web_cell(scenario, packets, fetches=3, warmup=10.0, seed=5)
+        print("%-14s %-6d %-10.1f %6.2f s (MOS %.1f)"
+              % (workload, packets, median_mos(voip["listens"]),
+                 web["median_plt"], web["mos"]))
+    print()

@@ -1,0 +1,22 @@
+"""Figure 7b in miniature: VoIP QoE vs uplink buffer size.
+
+Sweeps the access testbed's buffer sizes under upload congestion and
+prints the two heatmap halves ("user talks" / "user listens"), showing
+the paper's key asymmetry: the uplink queue delays *both* directions of
+the conversation through the delay impairment z2.
+
+Run:  python examples/bufferbloat_voip.py
+"""
+
+from repro.core.voip_study import fig7_grid, render_fig7
+
+BUFFERS = (8, 32, 64, 256)
+WORKLOADS = ("noBG", "long-few", "long-many")
+
+results = fig7_grid("up", BUFFERS, workloads=WORKLOADS, calls=1,
+                    warmup=10.0, duration=6.0, seed=3)
+print(render_fig7(results, "up", BUFFERS, workloads=WORKLOADS))
+print()
+print("Markers: + fine   o degraded   ! bad (Figure 6a bands)")
+print("Compare with the paper's Figure 7b: talks collapses to ~1.0 at")
+print(">= 64 packets; listens loses 1.5-2 MOS points from delay alone.")

@@ -1,0 +1,30 @@
+"""Figure 10 in miniature: WebQoE's two-sided buffer story.
+
+Fetches the paper's 80 KB page through the access testbed and shows
+both regimes: under *moderate* load, larger buffers absorb bursts and
+help; under *heavy* load (or upload congestion) they inflate the RTT
+and PLT becomes delay-dominated, so smaller buffers win — yet the MOS
+often doesn't care, because 5 s and 9 s are both "bad".
+
+Run:  python examples/web_browsing.py
+"""
+
+from repro.core.scenarios import access_scenario
+from repro.core.web_study import run_web_cell
+from repro.qoe.scales import mos_class
+
+CASES = (
+    ("short-few", "down", "moderate download load"),
+    ("long-many", "down", "heavy download load"),
+    ("long-few", "up", "upload congestion (bufferbloat)"),
+)
+
+for workload, activity, label in CASES:
+    scenario = access_scenario(workload, activity)
+    print("%s — %s" % (scenario, label))
+    for packets in (8, 64, 256):
+        cell = run_web_cell(scenario, packets, fetches=5, warmup=8.0, seed=5)
+        print("  buffer %3d pkts: median PLT %5.2f s -> MOS %.1f (%s)"
+              % (packets, cell["median_plt"], cell["mos"],
+                 mos_class(cell["mos"])))
+    print()

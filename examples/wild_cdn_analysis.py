@@ -1,0 +1,20 @@
+"""Section 3 end to end: how much queueing do real flows see?
+
+Generates the synthetic CDN sRTT dataset (calibrated to the aggregates
+the paper reports for its 430M-connection corpus), runs the max-minus-
+min queueing-delay estimation and prints Figure 1's panels as ASCII
+along with the headline statistics.
+
+Run:  python examples/wild_cdn_analysis.py
+"""
+
+from repro.wild import analyze, generate_dataset
+from repro.wild.analysis import render_fig1
+
+dataset = generate_dataset(n_flows=200_000, seed=7)
+analysis = analyze(dataset)
+print(render_fig1(analysis))
+print()
+print("Conclusion (as in the paper): excessive queueing delays do occur,")
+print("but only for a small fraction of flows and hosts -- the magnitude")
+print("of bufferbloat in the wild is modest.")

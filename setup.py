@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools lacks PEP 660 editable-wheel support
+(legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

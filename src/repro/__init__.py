@@ -1,0 +1,29 @@
+"""repro — reproduction of "A QoE Perspective on Sizing Network Buffers".
+
+Hohlfeld, Pujol, Ciucu, Feldmann, Barford — ACM IMC 2014.
+
+The package builds the paper's entire experimental apparatus in Python:
+a packet-level discrete-event simulator with the paper's two dumbbell
+testbeds (:mod:`repro.sim`), a from-scratch TCP with Reno/BIC/CUBIC
+(:mod:`repro.tcp`), Harpoon-style workloads (:mod:`repro.apps`),
+signal-level media pipelines (:mod:`repro.media`), standardized QoE
+models (:mod:`repro.qoe`), the Section-3 CDN analysis (:mod:`repro.wild`)
+and the sensitivity-study grids that regenerate every table and figure
+(:mod:`repro.core`).
+
+Quickstart::
+
+    from repro.core.scenarios import access_scenario
+    from repro.core.voip_study import run_voip_cell, median_mos
+
+    scenario = access_scenario("long-many", "up")   # upload congestion
+    scores = run_voip_cell(scenario, buffer_packets=256, calls=1)
+    print(median_mos(scores["talks"]))              # bufferbloat: ~1.x
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim import Simulator
+from repro.sim.topology import AccessNetwork, BackboneNetwork
+
+__all__ = ["Simulator", "AccessNetwork", "BackboneNetwork", "__version__"]

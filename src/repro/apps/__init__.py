@@ -1,0 +1,18 @@
+"""Application layer: traffic generators and the three studied applications.
+
+* :mod:`repro.apps.bulk` — long-lived ("infinite") TCP flows, the paper's
+  *long* workloads.
+* :mod:`repro.apps.harpoon` — Harpoon-style session-based generator with
+  heavy-tailed file sizes, the paper's *short* workloads.
+* :mod:`repro.apps.voip` — PjSIP-like VoIP call streaming G.711 speech
+  over RTP (Section 7).
+* :mod:`repro.apps.video` — VLC-like RTP/MPEG-TS video streamer with
+  pacing (Section 8).
+* :mod:`repro.apps.web` — HTTP server and wget-like sequential page
+  fetcher (Section 9).
+"""
+
+from repro.apps.bulk import BulkTraffic
+from repro.apps.harpoon import HarpoonGenerator, HarpoonStats
+
+__all__ = ["BulkTraffic", "HarpoonGenerator", "HarpoonStats"]

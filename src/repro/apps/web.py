@@ -1,0 +1,166 @@
+"""Web browsing: HTTP server and wget-like page fetcher (§9.1).
+
+The paper measures the page-load time (PLT) of a small static page —
+one HTML file (15 KB), one CSS (5.8 KB) and two JPEGs (30 KB each) —
+fetched sequentially over a single persistent HTTP/1.0 connection
+without pipelining, 14 RTTs end to end including TCP setup and
+teardown.
+
+:class:`PageFetch` performs exactly that: connect, then for each object
+send a request and wait for the full response before requesting the
+next; PLT runs from SYN to the last response byte.
+"""
+
+from repro.tcp import TcpConnection, TcpListener
+from repro.tcp.cc import make_cc
+
+#: The paper's page: object sizes in bytes (html, css, jpg, jpg).
+PAGE_OBJECTS = (15_000, 5_800, 30_000, 30_000)
+
+#: HTTP request size (request line + headers).
+REQUEST_BYTES = 300
+
+WEB_PORT = 80
+
+
+class WebServer:
+    """Static HTTP server: replies to ``("GET", size)`` with ``size`` bytes."""
+
+    def __init__(self, sim, node, port=WEB_PORT, cc="reno"):
+        self.sim = sim
+        self.node = node
+        self.port = port
+        self.requests_served = 0
+        self.listener = TcpListener(
+            sim, node, port,
+            on_connection=self._on_connection,
+            cc_factory=lambda: make_cc(cc),
+        )
+
+    def _on_connection(self, connection):
+        connection.on_message = self._on_message
+        connection.on_peer_fin = self._on_peer_fin
+
+    def _on_message(self, connection, meta):
+        kind, size = meta
+        if kind == "GET":
+            self.requests_served += 1
+            connection.send(size, meta=("RESP", size))
+
+    def _on_peer_fin(self, connection):
+        if not connection.close_requested:
+            connection.close()
+
+    def close(self):
+        self.listener.close()
+
+
+class PageFetch:
+    """One sequential page retrieval; measures the PLT.
+
+    ``on_complete(fetch)`` fires after the connection closes cleanly.
+    The PLT (:attr:`plt`) is available once :attr:`done`; it spans SYN
+    to the arrival of the last object byte (rendering of a static page
+    is constant and excluded, as with wget).
+    """
+
+    def __init__(self, sim, node, server_addr, port=WEB_PORT,
+                 objects=PAGE_OBJECTS, cc="reno", on_complete=None):
+        self.sim = sim
+        self.node = node
+        self.objects = list(objects)
+        self.on_complete = on_complete
+        self.started_at = None
+        self.last_byte_at = None
+        self.done = False
+        self.failed = False
+        self._next_object = 0
+        self.connection = TcpConnection(
+            sim, node, peer_addr=server_addr, peer_port=port,
+            cc=make_cc(cc))
+        self.connection.on_established = self._on_established
+        self.connection.on_message = self._on_message
+        self.connection.on_peer_fin = lambda c: c.close()
+        self.connection.on_close = self._on_close
+
+    def start(self):
+        """Begin the fetch (SYN goes out now)."""
+        self.started_at = self.sim.now
+        self.connection.connect()
+        return self
+
+    @property
+    def plt(self):
+        """Page-load time in seconds (None until the last byte arrived)."""
+        if self.last_byte_at is None:
+            return None
+        return self.last_byte_at - self.started_at
+
+    # ------------------------------------------------------------------
+    def _request_next(self):
+        size = self.objects[self._next_object]
+        self.connection.send(REQUEST_BYTES, meta=("GET", size))
+
+    def _on_established(self, connection):
+        self._request_next()
+
+    def _on_message(self, connection, meta):
+        kind, __ = meta
+        if kind != "RESP":
+            return
+        self._next_object += 1
+        if self._next_object < len(self.objects):
+            self._request_next()
+        else:
+            self.last_byte_at = self.sim.now
+            self.done = True
+            connection.close()
+
+    def _on_close(self, connection):
+        if not self.done:
+            self.failed = True
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    def abort(self):
+        """Abandon the fetch (experiment teardown)."""
+        self.connection.abort()
+
+    def analysis(self, base_rtt=None, rtt_rounds=14):
+        """Classify what dominated this fetch's PLT (§9.1's tcpcsm step).
+
+        The paper calls a PLT *RTT-dominated* when most of it is the
+        ``14 x RTT`` component (queueing inflated the round trips) and
+        *loss-dominated* when retransmission/timeout stalls account for
+        the growth instead.  We use the connection's smoothed-RTT
+        statistics — what a tcpcsm-style trace analysis estimates.
+
+        Returns a dict with the RTT component, its share of the PLT and
+        the dominance label.
+        """
+        plt = self.plt
+        if plt is None:
+            return {"class": "incomplete", "rtt_component": None,
+                    "rtt_share": None}
+        stats = self.connection.stats
+        if stats.srtt_samples:
+            srtt_avg = stats.srtt_avg
+            srtt_min = stats.srtt_min
+        else:
+            srtt_avg = srtt_min = base_rtt or 0.0
+        rtt_component = min(plt, rtt_rounds * srtt_avg)
+        share = rtt_component / plt if plt > 0 else 0.0
+        # Growth beyond the base-RTT budget, and how much of it queueing
+        # delay (inflated sRTT) explains vs retransmission stalls.
+        growth = max(0.0, plt - rtt_rounds * srtt_min)
+        rtt_growth = max(0.0, rtt_rounds * (srtt_avg - srtt_min))
+        if growth <= max(0.1, 0.25 * plt):
+            label = "rtt-dominated"  # PLT is essentially the RTT budget
+        elif rtt_growth >= 0.5 * growth:
+            label = "rtt-dominated"
+        elif stats.timeouts > 0 or rtt_growth < 0.3 * growth:
+            label = "loss-dominated"
+        else:
+            label = "mixed"
+        return {"class": label, "rtt_component": rtt_component,
+                "rtt_share": share}

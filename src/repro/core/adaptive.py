@@ -1,0 +1,79 @@
+"""Load-dependent buffer sizing (the scheme §9.4/§10 calls for).
+
+The paper's WebQoE findings are two-sided: at low-to-moderate load,
+*large* buffers help (they absorb bursts and avoid retransmissions); at
+high load, *small* buffers help (PLT becomes RTT-dominated).  It
+concludes that "this suggests load-dependent buffer sizing schemes".
+
+:class:`LoadAdaptiveBuffer` implements the obvious controller: measure
+the bottleneck utilization over an interval and re-size the drop-tail
+queue's capacity between a "large" and a "small" configuration with
+hysteresis.  The ablation benchmark (A2) compares it against the fixed
+sizes of Table 2.
+"""
+
+
+class LoadAdaptiveBuffer:
+    """Periodically re-sizes an interface's queue based on utilization.
+
+    Parameters
+    ----------
+    sim, interface:
+        The bottleneck to control.
+    small_packets, large_packets:
+        The two capacities to switch between (e.g. BDP/4 and 2x BDP).
+    high_watermark, low_watermark:
+        Utilization thresholds with hysteresis: above ``high`` the
+        buffer shrinks (delay-dominated regime), below ``low`` it grows
+        (burst-absorption regime).
+    interval:
+        Measurement period in seconds.
+    """
+
+    def __init__(self, sim, interface, small_packets, large_packets,
+                 high_watermark=0.85, low_watermark=0.60, interval=1.0):
+        if small_packets > large_packets:
+            raise ValueError("small_packets must be <= large_packets")
+        self.sim = sim
+        self.interface = interface
+        self.small_packets = small_packets
+        self.large_packets = large_packets
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.interval = interval
+        self.switches = 0
+        self._last_bytes = 0
+        self._event = None
+
+    @property
+    def current_packets(self):
+        return self.interface.queue.capacity_packets
+
+    def start(self):
+        """Begin controlling (queue starts at the large size)."""
+        self.interface.queue.capacity_packets = self.large_packets
+        self._last_bytes = self.interface.stats.tx_bytes
+        self._event = self.sim.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self):
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self):
+        tx_bytes = self.interface.stats.tx_bytes
+        delta = tx_bytes - self._last_bytes
+        self._last_bytes = tx_bytes
+        capacity = self.interface.rate_bps * self.interval / 8.0
+        utilization = min(1.0, delta / capacity)
+        queue = self.interface.queue
+        if (utilization >= self.high_watermark
+                and queue.capacity_packets != self.small_packets):
+            queue.capacity_packets = self.small_packets
+            self.switches += 1
+        elif (utilization <= self.low_watermark
+                and queue.capacity_packets != self.large_packets):
+            queue.capacity_packets = self.large_packets
+            self.switches += 1
+        self._event = self.sim.schedule(self.interval, self._tick)

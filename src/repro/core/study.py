@@ -1,0 +1,191 @@
+"""Grid sweeps for the QoS part of the study (Figures 4-5, Tables 1-2).
+
+Each function runs one paper artifact's experiment grid and returns
+plain data structures; rendering helpers turn them into the ASCII
+equivalents of the paper's figures.
+"""
+
+import os
+
+from repro.core.buffers import (
+    ACCESS_BUFFERS,
+    BACKBONE_BUFFERS,
+    access_buffer_delays,
+    backbone_buffer_delays,
+)
+from repro.core.experiment import run_qos_cell
+from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.qoe.scales import heat_marker_from_delay
+from repro.viz.heatmap import render_grid, render_table
+
+#: Workload rows of Figure 4 (y axis order as in the paper).
+FIG4_WORKLOADS = ("long-few", "long-many", "short-few", "short-many")
+
+
+def scale_factor(default=1.0):
+    """Read the global experiment scale knob (``REPRO_SCALE`` env var)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
+                    warmup=5.0, duration=20.0, seed=0):
+    """Figure 4: mean queueing delay per (workload, buffer size).
+
+    ``direction`` is the congestion direction: ``"down"``, ``"bidir"``
+    or ``"up"`` (the paper's three heatmaps).  Returns
+    ``{(workload, packets): QosReport}``.
+    """
+    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
+    results = {}
+    for workload in workloads:
+        scenario = access_scenario(workload, direction)
+        for packets in sizes:
+            results[(workload, packets)] = run_qos_cell(
+                scenario, packets, warmup=warmup, duration=duration,
+                seed=seed)
+    return results
+
+
+def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
+    """ASCII version of one Figure 4 heatmap (uplink and downlink blocks).
+
+    Cells show the mean queueing delay in ms with a G.114 marker
+    (``+`` acceptable, ``o`` problematic, ``!`` bad).
+    """
+    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
+
+    def cell(side):
+        def fn(workload, packets):
+            report = results[(workload, packets)]
+            delay = (report.up_mean_delay if side == "up"
+                     else report.down_mean_delay)
+            return "%.0f%s" % (delay * 1000.0, heat_marker_from_delay(delay))
+        return fn
+
+    up = render_grid(
+        "Figure 4 (%s): mean UPLINK queueing delay [ms]" % direction,
+        list(workloads), sizes, cell("up"), col_header="workload\\buf")
+    down = render_grid(
+        "Figure 4 (%s): mean DOWNLINK queueing delay [ms]" % direction,
+        list(workloads), sizes, cell("down"), col_header="workload\\buf")
+    return up + "\n\n" + down
+
+
+def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0):
+    """Figure 5: per-second link utilization for the bidirectional
+    long-many workload (8 uplink / 64 downlink long flows) per buffer.
+
+    Returns ``{packets: QosReport}`` (reports carry the per-second
+    samples for the boxplots).
+    """
+    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
+    scenario = access_scenario("long-many", "bidir")
+    return {
+        packets: run_qos_cell(scenario, packets, warmup=warmup,
+                              duration=duration, seed=seed)
+        for packets in sizes
+    }
+
+
+def render_fig5(results):
+    """ASCII boxplot table of Figure 5."""
+    rows = []
+    for packets in sorted(results):
+        report = results[packets]
+        for side, box in (("down", report.down_utilization_boxplot()),
+                          ("up", report.up_utilization_boxplot())):
+            rows.append((
+                packets, side,
+                "%.0f%%" % (box[0] * 100), "%.0f%%" % (box[1] * 100),
+                "%.0f%%" % (box[2] * 100), "%.0f%%" % (box[3] * 100),
+                "%.0f%%" % (box[4] * 100),
+            ))
+    return render_table(
+        "Figure 5: link utilization, bidirectional long workload (8 up/64 down)",
+        ("buffer", "link", "min", "q1", "median", "q3", "max"), rows)
+
+
+def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
+                include_overload=True):
+    """Measure Table 1's utilization/loss columns at BDP buffers.
+
+    Returns a list of dicts, one per (workload, direction) row.
+    """
+    rows = []
+    if testbed == "access":
+        specs = []
+        for name in ("short-few", "short-many", "long-few", "long-many"):
+            for direction in ("up", "bidir", "down"):
+                specs.append(access_scenario(name, direction))
+        buffer_packets = (64, 8)  # per-direction BDP, as in the paper
+    else:
+        names = ["short-low", "short-medium", "short-high", "long"]
+        if include_overload:
+            names.insert(3, "short-overload")
+        specs = [backbone_scenario(name) for name in names]
+        buffer_packets = 749
+    for scenario in specs:
+        report = run_qos_cell(scenario, buffer_packets, warmup=warmup,
+                              duration=duration, seed=seed)
+        rows.append({
+            "workload": scenario.name,
+            "direction": scenario.direction,
+            "up_util": report.up_utilization,
+            "down_util": report.down_utilization,
+            "up_util_sd": report.up_utilization_sd,
+            "down_util_sd": report.down_utilization_sd,
+            "up_loss": report.up_loss,
+            "down_loss": report.down_loss,
+            "concurrent": report.concurrent_flows,
+        })
+    return rows
+
+
+def render_table1(rows, testbed):
+    """ASCII version of Table 1's measured columns."""
+    out = []
+    for row in rows:
+        out.append((
+            row["workload"], row["direction"],
+            "%.1f" % (row["up_util"] * 100),
+            "%.1f" % (row["down_util"] * 100),
+            "%.1f" % (row["up_util_sd"] * 100),
+            "%.1f" % (row["down_util_sd"] * 100),
+            "%.2f" % (row["up_loss"] * 100),
+            "%.2f" % (row["down_loss"] * 100),
+            "%.0f" % row["concurrent"],
+        ))
+    return render_table(
+        "Table 1 (%s): measured workload characteristics at BDP buffers" % testbed,
+        ("workload", "dir", "up util%", "down util%", "up sd", "down sd",
+         "up loss%", "down loss%", "flows"),
+        out)
+
+
+def table2_rows():
+    """Table 2: analytic maximum queueing delays for the buffer catalog."""
+    access = access_buffer_delays()
+    backbone = backbone_buffer_delays()
+    return access, backbone
+
+
+def render_table2():
+    """ASCII version of Table 2."""
+    access, backbone = table2_rows()
+    access_rows = [
+        (packets, "%.0f" % (up * 1000), "%.0f" % (down * 1000))
+        for packets, up, down in access
+    ]
+    backbone_rows = [
+        (packets, "%.1f" % (delay * 1000)) for packets, delay in backbone
+    ]
+    part1 = render_table(
+        "Table 2 (access): buffer sizes and max queueing delay",
+        ("packets", "uplink delay ms", "downlink delay ms"), access_rows)
+    part2 = render_table(
+        "Table 2 (backbone): buffer sizes and max queueing delay",
+        ("packets", "delay ms"), backbone_rows)
+    return part1 + "\n\n" + part2

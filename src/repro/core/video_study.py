@@ -1,0 +1,105 @@
+"""Video QoE grids: Figure 9 (access 9a, backbone 9b)."""
+
+import numpy as np
+
+from repro.apps.video import VideoStream, clip_frames
+from repro.core.experiment import build_network
+from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.workloads import apply_workload
+from repro.media.codec import decode
+from repro.qoe.psnr import psnr_sequence
+from repro.qoe.scales import heat_marker_from_mos
+from repro.qoe.ssim import ssim_sequence
+from repro.qoe.video import ssim_to_mos
+from repro.viz.heatmap import render_grid
+
+FIG9A_WORKLOADS = ("noBG", "long-few", "long-many", "short-few", "short-many")
+FIG9B_WORKLOADS = ("noBG", "short-low", "short-medium", "short-high",
+                   "short-overload", "long")
+
+VIDEO_PORT = 6200
+
+
+def run_video_cell(scenario, buffer_packets, resolution="SD", clip="C",
+                   duration=8.0, warmup=5.0, seed=0, arq=False,
+                   queue_factory=None):
+    """Stream one clip through a loaded cell and score it.
+
+    Returns a dict with ``ssim``, ``psnr``, ``mos`` and ``packet_loss``.
+    IPTV flows run server -> client (the paper streams only downstream).
+    """
+    sim, network = build_network(scenario, buffer_packets,
+                                 queue_factory=queue_factory)
+    workload = apply_workload(sim, network, scenario, seed=seed)
+    sim.run(until=warmup)
+    stream = VideoStream(sim, network.media_server, network.media_client,
+                         port=VIDEO_PORT, clip=clip, resolution=resolution,
+                         duration=duration, arq=arq)
+    stream.start()
+    sim.run(until=sim.now + stream.end_time + 1.0)
+    received = stream.finish()
+    workload.stop()
+
+    reference = clip_frames(clip, resolution, stream.n_frames)
+    degraded = decode(reference, received)
+    ssim_value = ssim_sequence(reference, degraded)
+    return {
+        "ssim": ssim_value,
+        "psnr": psnr_sequence(reference, degraded),
+        "mos": ssim_to_mos(ssim_value),
+        "packet_loss": stream.packet_loss_rate,
+        "slice_loss": float(1.0 - received.mean()),
+    }
+
+
+def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
+              clip="C", duration=8.0, warmup=5.0, seed=0):
+    """Figure 9: {(workload, packets, resolution): cell result}.
+
+    ``testbed`` is ``"access"`` (9a, download activity) or ``"backbone"``
+    (9b).
+    """
+    if workloads is None:
+        workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
+    results = {}
+    for workload in workloads:
+        if testbed == "access":
+            scenario = access_scenario(workload, "down")
+        else:
+            scenario = backbone_scenario(workload)
+        for packets in buffers:
+            for resolution in resolutions:
+                results[(workload, packets, resolution)] = run_video_cell(
+                    scenario, packets, resolution=resolution, clip=clip,
+                    duration=duration, warmup=warmup, seed=seed)
+    return results
+
+
+def render_fig9(results, testbed, buffers, workloads=None,
+                resolutions=("SD", "HD")):
+    """ASCII Figure 9: one block per resolution, SSIM value + MOS marker."""
+    if workloads is None:
+        workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
+    blocks = []
+    for resolution in resolutions:
+        def fn(workload, packets, resolution=resolution):
+            cell = results[(workload, packets, resolution)]
+            return "%.2f%s" % (cell["ssim"], heat_marker_from_mos(cell["mos"]))
+
+        blocks.append(render_grid(
+            "Figure 9 (%s, %s): median SSIM (marker = MOS class)"
+            % (testbed, resolution),
+            list(workloads), list(buffers), fn, col_header="workload\\buf"))
+    return "\n\n".join(blocks)
+
+
+def median_over_clips(scenario, buffer_packets, resolution, clips=("A", "B", "C"),
+                      **kwargs):
+    """Median scores across the three content classes (§8.2's comparison)."""
+    cells = [run_video_cell(scenario, buffer_packets, resolution=resolution,
+                            clip=clip, **kwargs) for clip in clips]
+    return {
+        "ssim": float(np.median([c["ssim"] for c in cells])),
+        "mos": float(np.median([c["mos"] for c in cells])),
+        "psnr": float(np.median([c["psnr"] for c in cells])),
+    }

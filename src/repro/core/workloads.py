@@ -1,0 +1,115 @@
+"""Attach a :class:`repro.core.scenarios.Scenario` to a built network."""
+
+from repro.apps.bulk import BulkTraffic
+from repro.apps.harpoon import HarpoonGenerator
+from repro.util.rng import RngRegistry
+
+#: Ports used by the background traffic (the applications under test use
+#: their own, so nothing collides).
+HARPOON_DOWN_PORT = 8080
+HARPOON_UP_PORT = 8081
+BULK_DOWN_PORT = 5001
+BULK_UP_PORT = 5002
+
+
+class WorkloadHandle:
+    """Running background traffic: the generators plus their statistics."""
+
+    def __init__(self, generators):
+        self.generators = list(generators)
+
+    def stop(self):
+        """Stop all generators and abort their connections."""
+        for generator in self.generators:
+            generator.stop()
+
+    def reset_measurements(self):
+        """Clear windowed statistics after warm-up."""
+        for generator in self.generators:
+            stats = getattr(generator, "stats", None)
+            if stats is not None:
+                stats.reset_measurements()
+
+    def mean_concurrent_flows(self):
+        """Mean simultaneously-active transfers across all Harpoon parts,
+        plus the constant count of long-lived flows."""
+        total = 0.0
+        for generator in self.generators:
+            if isinstance(generator, HarpoonGenerator):
+                total += generator.stats.mean_concurrent_flows
+            elif isinstance(generator, BulkTraffic):
+                total += generator.count
+        return total
+
+    def completed_transfers(self):
+        total = 0
+        for generator in self.generators:
+            if isinstance(generator, HarpoonGenerator):
+                total += generator.stats.completed
+        return total
+
+
+def apply_workload(sim, network, scenario, seed=0):
+    """Create and start the background traffic described by ``scenario``.
+
+    Returns a :class:`WorkloadHandle`.  All randomness derives from
+    ``seed`` through named streams, so a (scenario, seed) pair is fully
+    reproducible.
+    """
+    registry = RngRegistry(seed)
+    generators = []
+
+    if scenario.down_sessions > 0:
+        generator = HarpoonGenerator(
+            sim,
+            network.traffic_servers(),
+            network.traffic_clients(),
+            sessions=scenario.down_sessions,
+            direction="down",
+            interarrival_mean=scenario.down_interarrival,
+            session_cap=scenario.down_session_cap,
+            rng=registry.stream("harpoon-down"),
+            cc=scenario.cc,
+            port=HARPOON_DOWN_PORT,
+        )
+        generators.append(generator)
+    if scenario.up_sessions > 0:
+        generator = HarpoonGenerator(
+            sim,
+            network.traffic_servers(),
+            network.traffic_clients(),
+            sessions=scenario.up_sessions,
+            direction="up",
+            interarrival_mean=scenario.up_interarrival,
+            session_cap=scenario.up_session_cap,
+            rng=registry.stream("harpoon-up"),
+            cc=scenario.cc,
+            port=HARPOON_UP_PORT,
+        )
+        generators.append(generator)
+    if scenario.down_flows > 0:
+        generator = BulkTraffic(
+            sim,
+            network.traffic_servers(),
+            network.traffic_clients(),
+            count=scenario.down_flows,
+            direction="down",
+            cc=scenario.cc,
+            port=BULK_DOWN_PORT,
+        )
+        generators.append(generator)
+    if scenario.up_flows > 0:
+        generator = BulkTraffic(
+            sim,
+            network.traffic_servers(),
+            network.traffic_clients(),
+            count=scenario.up_flows,
+            direction="up",
+            cc=scenario.cc,
+            port=BULK_UP_PORT,
+        )
+        generators.append(generator)
+
+    for generator in generators:
+        generator.start()
+    return WorkloadHandle(generators)

@@ -1,0 +1,27 @@
+"""Signal-level media substrate.
+
+* :mod:`repro.media.g711` — real G.711 A-law (PCMA) codec.
+* :mod:`repro.media.speech` — synthetic 8 s speech-like test samples
+  standing in for the ITU P.862 Annex A corpus.
+* :mod:`repro.media.playout` — receiver playout (jitter) buffer with
+  packet-loss concealment and signal reconstruction.
+* :mod:`repro.media.video_source` — procedural video clips (interview /
+  soccer / movie content classes).
+* :mod:`repro.media.codec` — H.264-like slice codec with temporal error
+  propagation and concealment.
+* :mod:`repro.media.mpegts` — MPEG-2 TS packetization (188-byte cells,
+  7 per RTP packet).
+"""
+
+from repro.media.g711 import alaw_decode, alaw_encode
+from repro.media.playout import PlayoutBuffer, PlayoutResult
+from repro.media.speech import SAMPLE_RATE, synthesize_speech
+
+__all__ = [
+    "alaw_encode",
+    "alaw_decode",
+    "PlayoutBuffer",
+    "PlayoutResult",
+    "SAMPLE_RATE",
+    "synthesize_speech",
+]

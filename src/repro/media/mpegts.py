@@ -1,0 +1,70 @@
+"""MPEG-2 Transport Stream packetization (§8.1).
+
+IPTV streams are carried as MPEG-TS over RTP/UDP: the elementary stream
+is chopped into 188-byte TS cells and seven cells ride in each RTP
+packet (1316-byte payloads).  This module computes, for a sequence of
+frame/slice byte sizes, which RTP packet carries which slice bytes — the
+mapping the receiver needs to decide whether a slice survived.
+"""
+
+from dataclasses import dataclass
+
+TS_CELL_BYTES = 188
+CELLS_PER_PACKET = 7
+PACKET_PAYLOAD_BYTES = TS_CELL_BYTES * CELLS_PER_PACKET  # 1316
+
+
+@dataclass(frozen=True)
+class PacketPlan:
+    """One RTP packet's content: payload size and the slices it carries."""
+
+    index: int
+    payload_bytes: int
+    slices: tuple  # ((frame, slice), ...) touched by this packet
+
+
+def packetize(slice_bytes):
+    """Map slices to RTP packets.
+
+    ``slice_bytes`` is a list of ``((frame, slice), nbytes)`` in stream
+    order.  Returns a list of :class:`PacketPlan` — consecutive slices
+    share packets, exactly like TS cells packed back to back.
+    """
+    plans = []
+    current_slices = []
+    current_fill = 0
+    index = 0
+
+    def flush():
+        nonlocal current_slices, current_fill, index
+        if current_fill == 0:
+            return
+        plans.append(PacketPlan(index=index,
+                                payload_bytes=current_fill,
+                                slices=tuple(current_slices)))
+        index += 1
+        current_slices = []
+        current_fill = 0
+
+    for key, nbytes in slice_bytes:
+        remaining = nbytes
+        while remaining > 0:
+            if current_fill == PACKET_PAYLOAD_BYTES:
+                flush()
+            space = PACKET_PAYLOAD_BYTES - current_fill
+            chunk = min(space, remaining)
+            if not current_slices or current_slices[-1] != key:
+                current_slices.append(key)
+            current_fill += chunk
+            remaining -= chunk
+    flush()
+    return plans
+
+
+def slice_packet_map(plans):
+    """Invert the plan: ``{(frame, slice): [packet indices]}``."""
+    mapping = {}
+    for plan in plans:
+        for key in plan.slices:
+            mapping.setdefault(key, []).append(plan.index)
+    return mapping

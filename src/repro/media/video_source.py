@@ -1,0 +1,106 @@
+"""Procedural video sources for the three content classes (§8.1).
+
+The paper uses three 16-second clips chosen for different motion/detail
+profiles: A) an interview scene (low motion), B) a soccer match (high
+motion, fine texture), C) a movie (medium motion with a scene cut).
+These generators synthesize luminance-only frames with exactly those
+motion characteristics; each clip is deterministic given its class.
+
+Resolutions are scaled down from broadcast SD/HD to keep full-reference
+metrics fast while preserving the SD-vs-HD relationships (HD has ~2.3x
+the pixels and double the bitrate, as in the paper).
+"""
+
+import numpy as np
+
+#: (width, height) of the scaled-down profiles.
+RESOLUTIONS = {"SD": (320, 180), "HD": (480, 270)}
+
+#: Target bitrates (bit/s), exactly the paper's encodings.
+BITRATES = {"SD": 4_000_000, "HD": 8_000_000}
+
+FPS = 12.5
+CLIP_SECONDS = 16.0
+
+
+def _field_texture(rng, width, height):
+    """Smooth random texture (low-pass filtered noise)."""
+    noise = rng.standard_normal((height, width))
+    spectrum = np.fft.rfft2(noise)
+    fy = np.fft.fftfreq(height)[:, None]
+    fx = np.fft.rfftfreq(width)[None, :]
+    lowpass = 1.0 / (1.0 + ((fx ** 2 + fy ** 2) * 400.0))
+    textured = np.fft.irfft2(spectrum * lowpass, s=(height, width))
+    textured -= textured.min()
+    peak = textured.max()
+    if peak > 0:
+        textured /= peak
+    return textured
+
+
+def _blob(xx, yy, cx, cy, radius, amplitude):
+    return amplitude * np.exp(-(((xx - cx) ** 2 + (yy - cy) ** 2)
+                                / (2.0 * radius ** 2)))
+
+
+def generate_clip(clip, resolution="SD", n_frames=None, fps=FPS):
+    """Generate one clip as a float32 array [frames, height, width] in [0,1].
+
+    ``clip`` is ``"A"`` (interview), ``"B"`` (soccer) or ``"C"`` (movie).
+    """
+    width, height = RESOLUTIONS[resolution]
+    if n_frames is None:
+        n_frames = int(CLIP_SECONDS * fps)
+    rng = np.random.default_rng({"A": 11, "B": 22, "C": 33}[clip])
+    background = _field_texture(rng, width, height)
+    yy, xx = np.mgrid[0:height, 0:width].astype(np.float64)
+    frames = np.empty((n_frames, height, width), dtype=np.float32)
+
+    if clip == "A":
+        # Interview: static backdrop, one slowly swaying head-and-shoulders
+        # blob, tiny sensor noise.
+        for f in range(n_frames):
+            t = f / fps
+            frame = 0.35 + 0.25 * background
+            cx = width * (0.5 + 0.02 * np.sin(2 * np.pi * 0.2 * t))
+            cy = height * (0.45 + 0.01 * np.sin(2 * np.pi * 0.13 * t))
+            frame += _blob(xx, yy, cx, cy, height * 0.18, 0.45)
+            frame += _blob(xx, yy, cx, cy + height * 0.35, height * 0.3, 0.25)
+            frame += 0.01 * rng.standard_normal((height, width))
+            frames[f] = np.clip(frame, 0.0, 1.0)
+    elif clip == "B":
+        # Soccer: fast global pan over a textured pitch plus fast players.
+        players = [(rng.uniform(0, 1), rng.uniform(0, 1),
+                    rng.uniform(-0.3, 0.3), rng.uniform(-0.2, 0.2))
+                   for __ in range(8)]
+        for f in range(n_frames):
+            t = f / fps
+            shift = int((t * 0.35 * width)) % width
+            frame = 0.3 + 0.4 * np.roll(background, shift, axis=1)
+            for px, py, vx, vy in players:
+                cx = ((px + vx * t) % 1.0) * width
+                cy = ((py + vy * t) % 1.0) * height
+                frame += _blob(xx, yy, cx, cy, height * 0.04, 0.5)
+            ball_x = ((0.1 + 0.45 * t) % 1.0) * width
+            ball_y = height * (0.5 + 0.3 * np.sin(2 * np.pi * 0.7 * t))
+            frame += _blob(xx, yy, ball_x, ball_y, height * 0.015, 0.7)
+            frames[f] = np.clip(frame, 0.0, 1.0)
+    else:
+        # Movie: medium pan, two drifting subjects, hard scene cut halfway.
+        alt_background = _field_texture(rng, width, height)
+        for f in range(n_frames):
+            t = f / fps
+            if f < n_frames // 2:
+                shift = int(t * 0.08 * width)
+                frame = 0.3 + 0.35 * np.roll(background, shift, axis=1)
+                frame += _blob(xx, yy, width * (0.3 + 0.05 * t),
+                               height * 0.5, height * 0.12, 0.4)
+            else:
+                shift = int(t * 0.05 * width)
+                frame = 0.25 + 0.4 * np.roll(alt_background, -shift, axis=0)
+                frame += _blob(xx, yy, width * 0.6,
+                               height * (0.4 + 0.04 * np.sin(2 * np.pi * t)),
+                               height * 0.15, 0.45)
+            frame += 0.005 * rng.standard_normal((height, width))
+            frames[f] = np.clip(frame, 0.0, 1.0)
+    return frames

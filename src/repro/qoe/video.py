@@ -1,0 +1,18 @@
+"""Video QoE: SSIM/PSNR to MOS mapping (§8.1, mapping per Zinner et al.).
+
+The paper's Figure 9 prints the SSIM value in each cell and colours it
+by the mapped MOS (Figure 6b scale).  The mapping below is piecewise
+linear through the anchor points used for scalable video in Zinner
+et al. 2010: SSIM 1.0 is excellent, ~0.95 good, ~0.88 fair, and the
+0.4-0.6 SSIM range the congested cells land in maps to "bad".
+"""
+
+import numpy as np
+
+_SSIM_ANCHORS = [0.00, 0.40, 0.50, 0.60, 0.70, 0.80, 0.88, 0.95, 1.00]
+_MOS_ANCHORS = [1.00, 1.00, 1.20, 1.50, 1.90, 2.40, 3.00, 4.00, 5.00]
+
+
+def ssim_to_mos(ssim_value):
+    """Map a mean SSIM score to the ACR MOS scale."""
+    return float(np.interp(ssim_value, _SSIM_ANCHORS, _MOS_ANCHORS))

@@ -1,0 +1,60 @@
+"""VoIP QoE composition (§7.1).
+
+The paper scores each call with two standardized models and combines
+them:
+
+* z1 — PESQ (signal-based: loss and jitter enter via the degraded
+  waveform), remapped from MOS to the R scale [0, 100];
+* z2 — the E-model delay impairment factor (conversational dynamics);
+* z = max(0, z1 - z2), mapped back to MOS per ITU-T P.862.2 / G.107.
+"""
+
+from dataclasses import dataclass
+
+from repro.qoe.emodel import delay_impairment, mos_to_r, r_to_mos
+from repro.qoe.pesq import pesq_like_mos
+
+
+@dataclass
+class VoipScore:
+    """Quality breakdown for one call."""
+
+    mos: float  # final combined MOS (the heatmap value)
+    z1_mos: float  # PESQ-like listening quality
+    z1_r: float  # z1 on the R scale
+    z2: float  # delay impairment on the R scale
+    mouth_to_ear_delay: float
+    effective_loss: float
+
+    def __str__(self):
+        return ("MOS %.2f (z1 %.2f MOS / %.0f R; z2 %.0f R; "
+                "delay %.0f ms; loss %.1f%%)" % (
+                    self.mos, self.z1_mos, self.z1_r, self.z2,
+                    self.mouth_to_ear_delay * 1000,
+                    self.effective_loss * 100))
+
+
+def score_call(clean_signal, degraded_signal, playout_result,
+               conversational_delay=None):
+    """Score one finished call leg (see :class:`repro.apps.voip.VoipCall`).
+
+    ``conversational_delay`` is the delay driving z2.  In a conversation
+    it is the worse of the two directions' mouth-to-ear delays — §7.2
+    stresses that an inflated uplink delay degrades the *listening*
+    direction too, because turn-taking spans both paths.  Defaults to
+    this leg's own mouth-to-ear delay.
+    """
+    z1_mos = pesq_like_mos(clean_signal, degraded_signal)
+    z1_r = mos_to_r(z1_mos)
+    if conversational_delay is None:
+        conversational_delay = playout_result.mouth_to_ear_delay
+    z2 = delay_impairment(conversational_delay)
+    z = max(0.0, z1_r - z2)
+    return VoipScore(
+        mos=r_to_mos(z),
+        z1_mos=z1_mos,
+        z1_r=z1_r,
+        z2=z2,
+        mouth_to_ear_delay=playout_result.mouth_to_ear_delay,
+        effective_loss=playout_result.effective_loss_rate,
+    )

@@ -1,0 +1,166 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: a binary heap of timestamped callbacks.  The
+whole reproduction — links, TCP timers, media sources — is driven by this
+single clock, which makes experiments exactly reproducible.
+
+Design notes
+------------
+* Events are ordered by ``(time, seq)``; the monotonically increasing
+  sequence number makes the ordering of simultaneous events deterministic
+  (FIFO in scheduling order) and keeps heap comparisons cheap.
+* Cancellation is lazy: cancelled events stay in the heap and are skipped
+  when popped.  This is the standard trick to keep ``cancel`` O(1).
+* :class:`Timer` wraps the common restartable-timeout pattern used by TCP
+  retransmission and delayed-ACK timers.
+"""
+
+import heapq
+
+
+class SimTimeError(ValueError):
+    """Raised when an event is scheduled in the past."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self):
+        state = " cancelled" if self.cancelled else ""
+        return "Event(t=%.9f, fn=%r%s)" % (self.time, self.fn, state)
+
+
+class Simulator:
+    """The event loop.  All times are seconds on a simulated clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimTimeError(
+                "cannot schedule at %.9f; clock already at %.9f" % (time, self.now)
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` after ``delay`` seconds."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until=None, max_events=None):
+        """Run events until the heap drains, ``until`` or ``max_events``.
+
+        Returns the number of events executed.  When ``until`` is given the
+        clock is advanced to ``until`` even if the heap drained earlier, so
+        that back-to-back ``run`` calls behave like one continuous run.
+        """
+        heap = self._heap
+        executed = 0
+        self._stopped = False
+        while heap and not self._stopped:
+            event = heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and until > self.now and not self._stopped:
+            self.now = until
+        return executed
+
+    def stop(self):
+        """Stop :meth:`run` after the currently executing event."""
+        self._stopped = True
+
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __repr__(self):
+        return "Simulator(now=%.6f, pending=%d)" % (self.now, len(self._heap))
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Wraps the schedule/cancel/reschedule dance of protocol timers::
+
+        timer = Timer(sim, self._on_rto)
+        timer.start(1.0)     # arm
+        timer.restart(2.0)   # re-arm, cancelling the pending expiry
+        timer.cancel()       # disarm
+    """
+
+    def __init__(self, sim, fn):
+        self._sim = sim
+        self._fn = fn
+        self._event = None
+
+    @property
+    def active(self):
+        """True while the timer is armed and has not fired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self):
+        """Absolute expiry time, or None when disarmed."""
+        if self.active:
+            return self._event.time
+        return None
+
+    def start(self, delay):
+        """Arm the timer; raises if already armed (use restart)."""
+        if self.active:
+            raise RuntimeError("timer already armed")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay):
+        """Arm the timer, cancelling any pending expiry first."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self):
+        """Disarm the timer (idempotent)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self._fn()

@@ -1,0 +1,124 @@
+"""Store-and-forward output interfaces.
+
+An :class:`Interface` models one *direction* of a link: an output queue,
+a serializer running at ``rate_bps`` and a propagation delay to the
+receiving node.  Buffers under study live in the queue attached to the
+bottleneck interfaces; all QoS measurements (utilization, loss, queueing
+delay) are taken here.
+"""
+
+
+class InterfaceStats:
+    """Resettable transmit counters for one interface."""
+
+    __slots__ = ("tx_packets", "tx_bytes", "busy_time", "window_start")
+
+    def __init__(self, now=0.0):
+        self.reset(now)
+
+    def reset(self, now=0.0):
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.busy_time = 0.0
+        self.window_start = now
+
+    def utilization(self, rate_bps, now):
+        """Mean utilization over the current measurement window."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.tx_bytes * 8.0) / (rate_bps * elapsed))
+
+
+class Interface:
+    """One direction of a point-to-point link.
+
+    Parameters
+    ----------
+    sim:
+        The driving :class:`repro.sim.engine.Simulator`.
+    name:
+        Diagnostic label, e.g. ``"homerouter->dslam"``.
+    rate_bps:
+        Serialization rate in bit/s.
+    prop_delay:
+        One-way propagation delay in seconds.
+    queue:
+        A :class:`repro.sim.queues.Queue` holding packets awaiting
+        serialization.  The buffer size under study is this queue's
+        capacity.
+    dst_node:
+        Receiving :class:`repro.sim.node.Node` (set later via
+        :meth:`connect` if not known at construction).
+    """
+
+    def __init__(self, sim, name, rate_bps, prop_delay, queue, dst_node=None):
+        self.sim = sim
+        self.name = name
+        self.rate_bps = float(rate_bps)
+        self.prop_delay = float(prop_delay)
+        self.queue = queue
+        self.dst_node = dst_node
+        self.stats = InterfaceStats()
+        self._busy = False
+        self._tx_started = 0.0
+
+    def connect(self, dst_node):
+        """Attach the receiving node."""
+        self.dst_node = dst_node
+
+    # ------------------------------------------------------------------
+    def send(self, packet):
+        """Queue ``packet`` for transmission; start the serializer if idle.
+
+        Returns False when the queue dropped the packet.
+        """
+        accepted = self.queue.push(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._start_next()
+        return accepted
+
+    def _start_next(self):
+        packet = self.queue.pop(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._tx_started = self.sim.now
+        tx_time = (packet.size * 8.0) / self.rate_bps
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet):
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += packet.size
+        stats.busy_time += self.sim.now - max(self._tx_started, stats.window_start)
+        if self.dst_node is not None:
+            self.sim.schedule(self.prop_delay, self.dst_node.receive, packet)
+        self._start_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self):
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def reset_stats(self):
+        """Zero both interface and queue measurement counters (post warm-up)."""
+        self.stats.reset(self.sim.now)
+        self.queue.stats.reset()
+
+    def utilization(self):
+        """Utilization since the last :meth:`reset_stats`."""
+        return self.stats.utilization(self.rate_bps, self.sim.now)
+
+    def serialization_delay(self, nbytes):
+        """Time to serialize ``nbytes`` at this interface's rate."""
+        return (nbytes * 8.0) / self.rate_bps
+
+    def __repr__(self):
+        return "Interface(%s, %.0f bit/s, q=%d)" % (
+            self.name,
+            self.rate_bps,
+            len(self.queue),
+        )

@@ -1,0 +1,122 @@
+"""Hosts and routers.
+
+A :class:`Node` both terminates transport protocols (host role) and
+forwards packets it does not own (router role); the dumbbell topologies
+use the same class for both.  Demultiplexing follows the usual socket
+model:
+
+* TCP: established connections are keyed by
+  ``(peer_addr, peer_port, local_port)``; SYNs with no matching
+  connection go to the listener registered on the destination port.
+* UDP: sockets are keyed by local port.
+
+Packets addressed to a port nobody listens on are dropped silently (the
+simulator has no RSTs/ICMP; nothing in the study needs them).
+"""
+
+
+class Node:
+    """A network element with interfaces, routes and transport endpoints."""
+
+    def __init__(self, sim, name, addr):
+        self.sim = sim
+        self.name = name
+        self.addr = addr
+        self.routes = {}
+        self.default_route = None
+        self.tcp_connections = {}
+        self.tcp_listeners = {}
+        self.udp_sockets = {}
+        self._next_port = 10_000
+        self.forwarded = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def add_route(self, dst_addr, interface):
+        """Send packets for ``dst_addr`` out of ``interface``."""
+        self.routes[dst_addr] = interface
+
+    def set_default_route(self, interface):
+        """Fallback interface for destinations without a specific route."""
+        self.default_route = interface
+
+    def route_for(self, dst_addr):
+        """Resolve the output interface for ``dst_addr`` (or raise)."""
+        interface = self.routes.get(dst_addr, self.default_route)
+        if interface is None:
+            raise LookupError("%s has no route to %r" % (self.name, dst_addr))
+        return interface
+
+    def send(self, packet):
+        """Transmit ``packet`` toward its destination.
+
+        Returns False if the output queue dropped it.
+        """
+        return self.route_for(packet.dst).send(packet)
+
+    # ------------------------------------------------------------------
+    # Reception / forwarding
+    # ------------------------------------------------------------------
+    def receive(self, packet):
+        """Entry point for packets arriving from a link."""
+        if packet.dst != self.addr:
+            self.forwarded += 1
+            self.send(packet)
+            return
+        if packet.proto == "tcp":
+            self._deliver_tcp(packet)
+        elif packet.proto == "udp":
+            self._deliver_udp(packet)
+
+    def _deliver_tcp(self, packet):
+        key = (packet.src, packet.sport, packet.dport)
+        connection = self.tcp_connections.get(key)
+        if connection is not None:
+            connection.handle_packet(packet)
+            return
+        listener = self.tcp_listeners.get(packet.dport)
+        if listener is not None:
+            listener.handle_packet(packet)
+
+    def _deliver_udp(self, packet):
+        socket = self.udp_sockets.get(packet.dport)
+        if socket is not None:
+            socket.handle_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Endpoint registry (used by the transport layers)
+    # ------------------------------------------------------------------
+    def allocate_port(self):
+        """Hand out a unique ephemeral port."""
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def register_tcp(self, peer_addr, peer_port, local_port, connection):
+        key = (peer_addr, peer_port, local_port)
+        if key in self.tcp_connections:
+            raise ValueError("TCP connection %r already registered" % (key,))
+        self.tcp_connections[key] = connection
+
+    def unregister_tcp(self, peer_addr, peer_port, local_port):
+        self.tcp_connections.pop((peer_addr, peer_port, local_port), None)
+
+    def register_tcp_listener(self, port, listener):
+        if port in self.tcp_listeners:
+            raise ValueError("port %d already has a listener" % port)
+        self.tcp_listeners[port] = listener
+
+    def unregister_tcp_listener(self, port):
+        self.tcp_listeners.pop(port, None)
+
+    def register_udp(self, port, socket):
+        if port in self.udp_sockets:
+            raise ValueError("UDP port %d already bound" % port)
+        self.udp_sockets[port] = socket
+
+    def unregister_udp(self, port):
+        self.udp_sockets.pop(port, None)
+
+    def __repr__(self):
+        return "Node(%s, addr=%d)" % (self.name, self.addr)

@@ -1,0 +1,6 @@
+"""UDP sockets and RTP framing for the media applications."""
+
+from repro.udp.rtp import RtpPacket, RtpReceiver, RtpSender
+from repro.udp.socket import UdpSocket
+
+__all__ = ["UdpSocket", "RtpPacket", "RtpSender", "RtpReceiver"]

@@ -1,0 +1,35 @@
+"""Shared utilities: seeded RNG streams, interval sets, unit helpers."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.rng import RngRegistry
+from repro.util.units import (
+    GBPS,
+    KBPS,
+    MBPS,
+    MS,
+    US,
+    bits_to_bytes,
+    bytes_to_bits,
+    mbps,
+    ms,
+    pretty_bytes,
+    pretty_rate,
+    pretty_time,
+)
+
+__all__ = [
+    "IntervalSet",
+    "RngRegistry",
+    "GBPS",
+    "KBPS",
+    "MBPS",
+    "MS",
+    "US",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "mbps",
+    "ms",
+    "pretty_bytes",
+    "pretty_rate",
+    "pretty_time",
+]

@@ -1,0 +1,5 @@
+"""Plain-text rendering of the paper's heatmaps and tables."""
+
+from repro.viz.heatmap import render_grid, render_table
+
+__all__ = ["render_grid", "render_table"]

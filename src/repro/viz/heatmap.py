@@ -1,0 +1,52 @@
+"""ASCII rendering of heatmaps (the paper's figure style) and tables.
+
+Cells carry a one-character quality marker mirroring the paper's
+green/orange/red colouring: ``+`` good, ``o`` degraded, ``!`` bad (see
+:mod:`repro.qoe.scales`).
+"""
+
+
+def render_grid(title, row_labels, col_labels, cell_fn, col_header="",
+                cell_width=None):
+    """Render a labelled grid.
+
+    ``cell_fn(row_label, col_label)`` returns the cell text (may include
+    a marker suffix) or None for an empty cell.
+    """
+    cells = {}
+    for row in row_labels:
+        for col in col_labels:
+            text = cell_fn(row, col)
+            cells[(row, col)] = "" if text is None else str(text)
+    if cell_width is None:
+        texts = list(cells.values()) + [str(c) for c in col_labels]
+        cell_width = max(len(t) for t in texts) + 2
+    label_width = max(len(str(r)) for r in row_labels + [col_header]) + 2
+
+    lines = [title]
+    header = str(col_header).ljust(label_width)
+    header += "".join(str(c).rjust(cell_width) for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in row_labels:
+        line = str(row).ljust(label_width)
+        line += "".join(cells[(row, col)].rjust(cell_width)
+                        for col in col_labels)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_table(title, headers, rows):
+    """Render a simple aligned table from header names and row tuples."""
+    str_rows = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-" * len(lines[-1]))
+    for row in str_rows:
+        lines.append("  ".join(value.ljust(widths[i])
+                               for i, value in enumerate(row)))
+    return "\n".join(lines)

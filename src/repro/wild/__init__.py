@@ -1,0 +1,7 @@
+"""Section 3: queueing "in the wild" from CDN sRTT statistics."""
+
+from repro.wild.analysis import WildAnalysis, analyze
+from repro.wild.dataset import AccessTech, FlowRecord, generate_dataset
+
+__all__ = ["AccessTech", "FlowRecord", "generate_dataset", "WildAnalysis",
+           "analyze"]

@@ -1,0 +1,129 @@
+"""Section 3 analysis pipeline: Figures 1a, 1b and 1c.
+
+Mirrors the paper exactly: keep flows with at least 10 RTT samples,
+estimate the per-flow queueing delay as the sRTT range (max - min),
+build log-scale PDFs of the min/avg/max RTT (1a), a 2D min-vs-max
+histogram (1b) and per-technology queueing-delay PDFs (1c), plus the
+headline statistics quoted in the text.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.wild.dataset import AccessTech
+
+MIN_SAMPLES = 10
+
+
+def _log_pdf(values, bins):
+    """Probability density over log10(milliseconds), as in Figure 1."""
+    log_ms = np.log10(np.maximum(values, 1e-6) * 1000.0)
+    hist, edges = np.histogram(log_ms, bins=bins, range=(0.0, 4.0),
+                               density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, hist
+
+
+@dataclass
+class WildAnalysis:
+    """All derived artifacts of Section 3."""
+
+    n_total: int
+    n_filtered: int
+    rtt_pdfs: dict  # {"min"|"avg"|"max": (bin centers, density)}
+    qd_pdfs: dict  # {tech or "all": (bin centers, density)}
+    hist2d: tuple  # (H, xedges, yedges) of log min vs log max
+    stats: dict = field(default_factory=dict)
+
+    def summary(self):
+        """Human-readable headline statistics (§3's quoted numbers)."""
+        lines = [
+            "flows analysed: %d (of %d, >= %d RTT samples)"
+            % (self.n_filtered, self.n_total, MIN_SAMPLES),
+            "queueing delay < 100 ms: %.1f%% (paper: ~80%%)"
+            % (self.stats["qd_below_100ms"] * 100),
+            "queueing delay > 500 ms: %.2f%% (paper: 2.8%%)"
+            % (self.stats["qd_above_500ms"] * 100),
+            "queueing delay > 1 s:    %.2f%% (paper: 1%%)"
+            % (self.stats["qd_above_1s"] * 100),
+            "near flows (min <= 100 ms) with qd < 100 ms: %.1f%% (paper: 95%%)"
+            % (self.stats["near_qd_below_100ms"] * 100),
+            "near flows with qd < 1 s: %.2f%% (paper: 99.9%%)"
+            % (self.stats["near_qd_below_1s"] * 100),
+        ]
+        return "\n".join(lines)
+
+
+def analyze(dataset, bins=60):
+    """Run the full Section 3 pipeline on a generated dataset."""
+    samples = dataset["samples"]
+    keep = samples >= MIN_SAMPLES
+    n_total = len(samples)
+    min_srtt = dataset["min"][keep]
+    avg_srtt = dataset["avg"][keep]
+    max_srtt = dataset["max"][keep]
+    tech = dataset["tech"][keep]
+    queueing = max_srtt - min_srtt
+
+    rtt_pdfs = {
+        "min": _log_pdf(min_srtt, bins),
+        "avg": _log_pdf(avg_srtt, bins),
+        "max": _log_pdf(max_srtt, bins),
+    }
+    qd_pdfs = {"all": _log_pdf(queueing, bins)}
+    for label in (AccessTech.ADSL, AccessTech.CABLE, AccessTech.FTTH):
+        mask = tech == label.value
+        if mask.any():
+            qd_pdfs[label.value] = _log_pdf(queueing[mask], bins)
+
+    log_min = np.log10(np.maximum(min_srtt, 1e-6) * 1000.0)
+    log_max = np.log10(np.maximum(max_srtt, 1e-6) * 1000.0)
+    hist2d = np.histogram2d(log_max, log_min, bins=40,
+                            range=[[0.5, 3.5], [0.5, 3.5]])
+
+    near = min_srtt <= 0.100
+    stats = {
+        "qd_below_100ms": float(np.mean(queueing < 0.100)),
+        "qd_above_500ms": float(np.mean(queueing > 0.500)),
+        "qd_above_1s": float(np.mean(queueing > 1.0)),
+        "near_qd_below_100ms": float(np.mean(queueing[near] < 0.100))
+        if near.any() else 0.0,
+        "near_qd_below_1s": float(np.mean(queueing[near] < 1.0))
+        if near.any() else 0.0,
+        "median_qd": float(np.median(queueing)),
+        "mean_min_rtt": float(np.mean(min_srtt)),
+    }
+    return WildAnalysis(
+        n_total=n_total,
+        n_filtered=int(keep.sum()),
+        rtt_pdfs=rtt_pdfs,
+        qd_pdfs=qd_pdfs,
+        hist2d=hist2d,
+        stats=stats,
+    )
+
+
+def render_fig1(analysis, width=50):
+    """ASCII sparklines of Figure 1's three panels."""
+    def spark(centers, density):
+        peak = density.max() if density.size and density.max() > 0 else 1.0
+        blocks = " .:-=+*#%@"
+        # Downsample to `width` columns.
+        idx = np.linspace(0, len(density) - 1, width).astype(int)
+        return "".join(blocks[int(density[i] / peak * (len(blocks) - 1))]
+                       for i in idx)
+
+    lines = ["Figure 1a: PDF of log10(RTT [ms]), 1..10^4 ms"]
+    for key in ("min", "avg", "max"):
+        centers, density = analysis.rtt_pdfs[key]
+        lines.append("  %-4s |%s|" % (key, spark(centers, density)))
+    lines.append("")
+    lines.append("Figure 1c: PDF of log10(estimated queueing delay [ms])")
+    for key in ("ftth", "cable", "adsl", "all"):
+        if key in analysis.qd_pdfs:
+            centers, density = analysis.qd_pdfs[key]
+            lines.append("  %-5s |%s|" % (key, spark(centers, density)))
+    lines.append("")
+    lines.append(analysis.summary())
+    return "\n".join(lines)

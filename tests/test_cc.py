@@ -1,0 +1,146 @@
+"""Unit tests for the congestion-control algorithms."""
+
+import pytest
+
+from repro.tcp.cc import Bic, CongestionControl, Cubic, Reno, make_cc
+
+MSS = 1460
+
+
+class TestReno:
+    def test_initial_window(self):
+        cc = Reno(mss=MSS, initial_window_segments=3)
+        assert cc.cwnd == 3 * MSS
+        assert cc.in_slow_start
+
+    def test_slow_start_doubles_per_window(self):
+        cc = Reno(mss=MSS)
+        start = cc.cwnd
+        # One window's worth of ACKs in slow start ~ doubles cwnd.
+        acked = 0
+        while acked < start:
+            cc.on_ack(MSS, now=1.0, srtt=0.1)
+            acked += MSS
+        assert cc.cwnd >= 2 * start - MSS
+
+    def test_congestion_avoidance_linear(self):
+        cc = Reno(mss=MSS)
+        cc.ssthresh = 10 * MSS
+        cc.cwnd = 20 * MSS
+        before = cc.cwnd
+        for __ in range(20):  # one window of ACKs
+            cc.on_ack(MSS, now=1.0, srtt=0.1)
+        assert cc.cwnd == pytest.approx(before + MSS, rel=0.01)
+
+    def test_loss_halves(self):
+        cc = Reno(mss=MSS)
+        cc.cwnd = 100 * MSS
+        cc.ssthresh = 50 * MSS
+        cc.on_loss(flight_bytes=100 * MSS, now=1.0)
+        assert cc.ssthresh == pytest.approx(50 * MSS)
+        assert cc.cwnd == pytest.approx(50 * MSS)
+
+    def test_loss_floor_two_segments(self):
+        cc = Reno(mss=MSS)
+        cc.on_loss(flight_bytes=MSS, now=1.0)
+        assert cc.ssthresh == 2 * MSS
+
+    def test_timeout_collapses_to_one_segment(self):
+        cc = Reno(mss=MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_timeout(flight_bytes=100 * MSS, now=1.0)
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == pytest.approx(50 * MSS)
+
+
+class TestBic:
+    def test_binary_search_approaches_wmax(self):
+        cc = Bic(mss=MSS)
+        cc.ssthresh = 10 * MSS
+        cc.cwnd = 40 * MSS
+        cc.w_max = 100.0
+        # Many ACKs: window should move toward w_max but not wildly past.
+        for __ in range(2000):
+            cc.on_ack(MSS, now=1.0, srtt=0.1)
+            if cc.cwnd / MSS >= cc.w_max:
+                break
+        assert cc.cwnd / MSS >= 95.0
+
+    def test_increment_capped_by_smax(self):
+        cc = Bic(mss=MSS)
+        cc.ssthresh = MSS  # force congestion avoidance
+        cc.cwnd = 20 * MSS
+        cc.w_max = 10_000.0
+        before = cc.cwnd / MSS
+        cc.on_ack(MSS, now=1.0, srtt=0.1)
+        delta = cc.cwnd / MSS - before
+        assert delta <= Bic.S_MAX / before * 1.01
+
+    def test_fast_convergence_reduces_wmax(self):
+        cc = Bic(mss=MSS)
+        cc.w_max = 100.0
+        cc.on_loss(flight_bytes=50 * MSS, now=1.0)
+        assert cc.w_max == pytest.approx(50 * (1 + Bic.BETA) / 2)
+
+    def test_loss_uses_beta(self):
+        cc = Bic(mss=MSS)
+        cc.on_loss(flight_bytes=100 * MSS, now=1.0)
+        assert cc.ssthresh == pytest.approx(100 * MSS * Bic.BETA)
+        assert cc.cwnd == pytest.approx(cc.ssthresh)
+
+
+class TestCubic:
+    def test_loss_uses_beta(self):
+        cc = Cubic(mss=MSS)
+        cc.cwnd = 100 * MSS
+        cc.on_loss(flight_bytes=100 * MSS, now=5.0)
+        assert cc.ssthresh == pytest.approx(100 * MSS * Cubic.BETA)
+        assert cc.cwnd == pytest.approx(cc.ssthresh)
+        assert cc.w_max == pytest.approx(100.0)
+
+    def test_fast_convergence(self):
+        cc = Cubic(mss=MSS)
+        cc.w_max = 200.0
+        cc.on_loss(flight_bytes=100 * MSS, now=5.0)
+        assert cc.w_max == pytest.approx(100 * (2 - Cubic.BETA) / 2)
+
+    def test_concave_growth_toward_wmax(self):
+        cc = Cubic(mss=MSS)
+        cc.ssthresh = 10 * MSS
+        cc.cwnd = 70 * MSS
+        cc.w_max = 100.0
+        now = 0.0
+        trajectory = []
+        for step in range(400):
+            now += 0.01
+            cc.on_ack(MSS, now=now, srtt=0.1)
+            trajectory.append(cc.cwnd / MSS)
+        # Growth plateaus near w_max (concave region) before probing past it.
+        assert trajectory[-1] > 95.0
+        deltas = [b - a for a, b in zip(trajectory, trajectory[1:])]
+        assert max(deltas[:50]) > max(deltas[150:250])
+
+    def test_timeout_resets_epoch(self):
+        cc = Cubic(mss=MSS)
+        cc.ssthresh = MSS
+        cc.on_ack(MSS, now=1.0, srtt=0.1)
+        assert cc.epoch_start is not None
+        cc.on_timeout(flight_bytes=10 * MSS, now=2.0)
+        assert cc.epoch_start is None
+        assert cc.cwnd == MSS
+
+
+class TestFactory:
+    def test_make_cc_by_name(self):
+        assert isinstance(make_cc("reno"), Reno)
+        assert isinstance(make_cc("bic"), Bic)
+        assert isinstance(make_cc("cubic"), Cubic)
+
+    def test_make_cc_unknown(self):
+        with pytest.raises(ValueError):
+            make_cc("vegas")
+
+    def test_base_class_is_abstract_for_on_ack(self):
+        cc = CongestionControl()
+        with pytest.raises(NotImplementedError):
+            cc.on_ack(MSS, 0.0, 0.1)

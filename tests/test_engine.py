@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimTimeError, Simulator, Timer
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+    for tag in range(5):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "late")
+    executed = sim.run(until=2.0)
+    assert executed == 0
+    assert sim.now == 2.0
+    assert fired == []
+    sim.run(until=10.0)
+    assert fired == ["late"]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(1.0, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.schedule(2.0, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    assert sim.pending() == 1
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(i + 1.0, seen.append, i)
+    executed = sim.run(max_events=4)
+    assert executed == 4
+    assert seen == [0, 1, 2, 3]
+
+
+def test_timer_restart_and_cancel():
+    sim = Simulator()
+    fires = []
+    timer = Timer(sim, lambda: fires.append(sim.now))
+    timer.start(1.0)
+    assert timer.active
+    timer.restart(2.0)
+    sim.run()
+    assert fires == [2.0]
+    assert not timer.active
+
+    timer.start(1.0)
+    timer.cancel()
+    timer.cancel()  # idempotent
+    sim.run()
+    assert fires == [2.0]
+
+
+def test_timer_double_start_raises():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(1.0)
+    with pytest.raises(RuntimeError):
+        timer.start(2.0)
+
+
+def test_timer_expiry_property():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.expiry is None
+    timer.start(3.0)
+    assert timer.expiry == 3.0
+    sim.run()
+    assert timer.expiry is None

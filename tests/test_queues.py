@@ -1,0 +1,184 @@
+"""Tests for drop-tail, RED and CoDel queue disciplines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.packet import Packet
+from repro.sim.queues import CoDelQueue, DropTailQueue, Queue, REDQueue
+
+
+def make_packet(size=1500):
+    return Packet(src=1, dst=2, sport=1, dport=2, proto="udp", size=size)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_packets=10)
+        packets = [make_packet() for __ in range(5)]
+        for index, packet in enumerate(packets):
+            assert queue.push(packet, now=float(index))
+        popped = [queue.pop(now=10.0) for __ in range(5)]
+        assert popped == packets
+        assert queue.pop(now=11.0) is None
+
+    def test_packet_capacity_enforced(self):
+        queue = DropTailQueue(capacity_packets=3)
+        assert all(queue.push(make_packet(), 0.0) for __ in range(3))
+        assert not queue.push(make_packet(), 0.0)
+        assert len(queue) == 3
+        assert queue.stats.dropped == 1
+        assert queue.stats.enqueued == 3
+
+    def test_byte_capacity_enforced(self):
+        queue = DropTailQueue(capacity_bytes=4000)
+        assert queue.push(make_packet(1500), 0.0)
+        assert queue.push(make_packet(1500), 0.0)
+        assert not queue.push(make_packet(1500), 0.0)  # 4500 > 4000
+        assert queue.push(make_packet(500), 0.0)
+        assert queue.byte_length == 3500
+
+    def test_requires_some_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue()
+
+    def test_sojourn_stats(self):
+        queue = DropTailQueue(capacity_packets=10)
+        queue.push(make_packet(), now=1.0)
+        queue.push(make_packet(), now=1.5)
+        queue.pop(now=2.0)
+        queue.pop(now=3.0)
+        assert queue.stats.delay_samples == 2
+        assert queue.stats.mean_delay == pytest.approx((1.0 + 1.5) / 2)
+        assert queue.stats.delay_max == pytest.approx(1.5)
+
+    def test_loss_rate(self):
+        queue = DropTailQueue(capacity_packets=2)
+        for __ in range(4):
+            queue.push(make_packet(), 0.0)
+        assert queue.stats.loss_rate == pytest.approx(0.5)
+
+    def test_stats_reset_preserves_contents(self):
+        queue = DropTailQueue(capacity_packets=5)
+        queue.push(make_packet(), 0.0)
+        queue.stats.reset()
+        assert queue.stats.enqueued == 0
+        assert len(queue) == 1
+
+
+class TestRed:
+    def test_no_drops_below_min_threshold(self):
+        rng = np.random.default_rng(1)
+        queue = REDQueue(capacity_packets=100, min_th=20, max_th=60, rng=rng)
+        for __ in range(10):
+            assert queue.push(make_packet(), 0.0)
+        assert queue.stats.dropped == 0
+
+    def test_probabilistic_drops_between_thresholds(self):
+        rng = np.random.default_rng(2)
+        queue = REDQueue(capacity_packets=1000, min_th=5, max_th=15,
+                         max_p=0.5, weight=0.5, rng=rng)
+        drops = 0
+        now = 0.0
+        for __ in range(500):
+            if not queue.push(make_packet(), now):
+                drops += 1
+            now += 0.001
+        assert drops > 0
+        assert drops < 500
+
+    def test_forced_drop_above_gentle_region(self):
+        queue = REDQueue(capacity_packets=1000, min_th=1, max_th=2,
+                         max_p=0.1, weight=1.0)
+        # Fill until the EWMA is far above 2*max_th: every push must drop.
+        for __ in range(20):
+            queue.push(make_packet(), 0.0)
+        assert not queue.push(make_packet(), 0.0)
+
+    def test_average_decays_when_idle(self):
+        queue = REDQueue(capacity_packets=100, min_th=5, max_th=20, weight=0.5)
+        for __ in range(10):
+            queue.push(make_packet(), 0.0)
+        while queue.pop(1.0) is not None:
+            pass
+        high = queue.avg
+        queue.push(make_packet(), 10.0)  # long idle period decays the EWMA
+        assert queue.avg < high
+
+
+class TestCoDel:
+    def test_behaves_like_fifo_at_low_delay(self):
+        queue = CoDelQueue(capacity_packets=100)
+        now = 0.0
+        dropped = 0
+        for step in range(200):
+            if not queue.push(make_packet(), now):
+                dropped += 1
+            packet = queue.pop(now + 0.001)  # 1 ms sojourn << 5 ms target
+            assert packet is not None
+            now += 0.002
+        assert dropped == 0
+        assert queue.stats.dropped == 0
+
+    def test_drops_under_sustained_delay(self):
+        queue = CoDelQueue(capacity_packets=10_000, target=0.005, interval=0.1)
+        # Arrivals at 2x the drain rate: sojourn times build far above target.
+        now = 0.0
+        for __ in range(2000):
+            queue.push(make_packet(), now)
+            now += 0.001
+            if int(now * 1000) % 2 == 0:
+                queue.pop(now)
+        assert queue.stats.dropped > 0
+
+    def test_capacity_still_enforced(self):
+        queue = CoDelQueue(capacity_packets=3)
+        for __ in range(5):
+            queue.push(make_packet(), 0.0)
+        assert len(queue) == 3
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["push", "pop"]), st.integers(40, 1500)),
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=100)
+def test_property_droptail_never_exceeds_capacity(ops, capacity):
+    queue = DropTailQueue(capacity_packets=capacity)
+    now = 0.0
+    model = []
+    for op, size in ops:
+        now += 0.001
+        if op == "push":
+            accepted = queue.push(make_packet(size), now)
+            assert accepted == (len(model) < capacity)
+            if accepted:
+                model.append(size)
+        else:
+            packet = queue.pop(now)
+            if model:
+                assert packet is not None and packet.size == model.pop(0)
+            else:
+                assert packet is None
+        assert len(queue) == len(model)
+        assert queue.byte_length == sum(model)
+        assert len(queue) <= capacity
+
+
+@given(st.lists(st.integers(40, 1500), min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_property_conservation(sizes):
+    """enqueued == dequeued + still queued, in packets and bytes."""
+    queue = DropTailQueue(capacity_packets=30)
+    for index, size in enumerate(sizes):
+        queue.push(make_packet(size), float(index))
+        if index % 3 == 0:
+            queue.pop(float(index))
+    stats = queue.stats
+    assert stats.enqueued == stats.dequeued + len(queue)
+    assert stats.bytes_enqueued == stats.bytes_dequeued + queue.byte_length
+    assert stats.enqueued + stats.dropped == len(sizes)

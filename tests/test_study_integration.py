@@ -1,0 +1,108 @@
+"""Fast integration tests for the per-figure study runners."""
+
+import pytest
+
+from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.study import (
+    fig4_delay_grid,
+    fig5_utilization,
+    render_fig4,
+    render_fig5,
+    render_table1,
+    render_table2,
+    table1_rows,
+)
+from repro.core.video_study import run_video_cell
+from repro.core.voip_study import median_mos, run_voip_cell
+from repro.core.web_study import run_web_cell
+from repro.sim.queues import CoDelQueue
+
+
+class _Buf:
+    def __init__(self, packets):
+        self.packets = packets
+
+
+class TestQosStudies:
+    def test_fig4_grid_and_render(self):
+        buffers = [_Buf(8), _Buf(64)]
+        results = fig4_delay_grid("up", buffers=buffers,
+                                  workloads=("long-few",), warmup=3,
+                                  duration=5, seed=2)
+        assert set(results) == {("long-few", 8), ("long-few", 64)}
+        # Bigger buffer, bigger mean uplink delay.
+        assert (results[("long-few", 64)].up_mean_delay
+                > results[("long-few", 8)].up_mean_delay)
+        text = render_fig4(results, "up", buffers=buffers,
+                           workloads=("long-few",))
+        assert "UPLINK" in text and "DOWNLINK" in text
+
+    def test_fig5_and_render(self):
+        results = fig5_utilization(buffers=[_Buf(64)], warmup=3, duration=5,
+                                   seed=1)
+        report = results[64]
+        assert len(report.up_utilization_samples) >= 4
+        assert "utilization" in render_fig5(results)
+
+    def test_table1_rows_and_render(self):
+        rows = table1_rows("backbone", warmup=2, duration=4, seed=1,
+                           include_overload=False)
+        assert len(rows) == 4
+        text = render_table1(rows, "backbone")
+        assert "short-low" in text
+
+    def test_table2_render(self):
+        text = render_table2()
+        assert "96" in text  # 8-packet uplink delay
+        assert "7490" in text
+
+
+class TestVoipCells:
+    def test_nobg_cell_excellent(self):
+        scores = run_voip_cell(access_scenario("noBG"), 64, calls=1,
+                               warmup=1, duration=2.0)
+        assert median_mos(scores["talks"]) > 4.0
+        assert median_mos(scores["listens"]) > 4.0
+
+    def test_single_direction(self):
+        scores = run_voip_cell(backbone_scenario("noBG"), 749, calls=1,
+                               warmup=1, duration=2.0,
+                               directions=("listens",))
+        assert set(scores) == {"listens"}
+        assert median_mos(scores["listens"]) > 4.0
+
+    def test_queue_factory_plumbs_through(self):
+        scores = run_voip_cell(
+            access_scenario("noBG"), 64, calls=1, warmup=1, duration=2.0,
+            queue_factory=lambda p: CoDelQueue(capacity_packets=p))
+        assert median_mos(scores["talks"]) > 4.0
+
+    def test_median_mos_empty(self):
+        assert median_mos([]) == 0.0
+
+
+class TestVideoCells:
+    def test_nobg_cell_is_perfect(self):
+        cell = run_video_cell(access_scenario("noBG"), 64, duration=2.0,
+                              warmup=1)
+        assert cell["ssim"] == pytest.approx(1.0, abs=1e-6)
+        assert cell["mos"] == 5.0
+        assert cell["packet_loss"] == 0.0
+
+    def test_arq_flag(self):
+        cell = run_video_cell(access_scenario("noBG"), 64, duration=2.0,
+                              warmup=1, arq=True)
+        assert cell["ssim"] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestWebCells:
+    def test_nobg_cell_fast(self):
+        cell = run_web_cell(access_scenario("noBG"), 64, fetches=2, warmup=1)
+        assert cell["median_plt"] < 1.0
+        assert cell["mos"] > 4.0
+        assert len(cell["plts"]) == 2
+
+    def test_backbone_anchor_used(self):
+        cell = run_web_cell(backbone_scenario("noBG"), 749, fetches=2,
+                            warmup=1)
+        assert cell["mos"] == 5.0  # under the 0.85 s backbone anchor
