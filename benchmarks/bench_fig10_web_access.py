@@ -3,7 +3,13 @@
 from repro.core.paper_data import FIG10A, FIG10B
 from repro.core.web_study import fig10_grid, render_fig10
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_count
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_count,
+)
 
 BUFFERS = (8, 64, 256)
 WORKLOADS = ("noBG", "long-few", "long-many", "short-few")
@@ -28,7 +34,8 @@ def test_fig10a_download_activity(benchmark):
 
     def run():
         return fig10_grid("down", buffers, workloads=WORKLOADS,
-                          fetches=fetches, warmup=8.0, seed=5)
+                          fetches=fetches, warmup=8.0, seed=5,
+                          runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
@@ -49,7 +56,8 @@ def test_fig10b_upload_activity(benchmark):
     def run():
         return fig10_grid("up", BUFFERS, workloads=("noBG", "long-few",
                                                     "short-many"),
-                          fetches=fetches, warmup=8.0, seed=5)
+                          fetches=fetches, warmup=8.0, seed=5,
+                          runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

@@ -3,7 +3,13 @@
 from repro.core.paper_data import FIG11
 from repro.core.web_study import fig11_grid, render_fig10
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_count
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_count,
+)
 
 BUFFERS = (8, 749, 7490)
 WORKLOADS = ("noBG", "short-medium", "long")
@@ -17,7 +23,7 @@ def test_fig11(benchmark):
 
     def run():
         return fig11_grid(BUFFERS, workloads=workloads, fetches=fetches,
-                          warmup=15.0, seed=5)
+                          warmup=15.0, seed=5, runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

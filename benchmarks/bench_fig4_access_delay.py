@@ -4,7 +4,13 @@ from repro.core.paper_data import FIG4_UP_ONLY_UPLINK
 from repro.core.study import fig4_delay_grid, render_fig4
 from repro.qoe.scales import g114_class
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_duration,
+)
 
 BUFFER_SIZES = (8, 16, 32, 64, 128, 256)
 
@@ -16,7 +22,8 @@ def test_fig4_upstream(benchmark):
 
     def run():
         return fig4_delay_grid("up", workloads=workloads, warmup=8.0,
-                               duration=duration, seed=2)
+                               duration=duration, seed=2,
+                               runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
@@ -49,7 +56,8 @@ def test_fig4_downstream_only(benchmark):
 
     def run():
         return fig4_delay_grid("down", workloads=("long-many",),
-                               warmup=6.0, duration=duration, seed=2)
+                               warmup=6.0, duration=duration, seed=2,
+                               runner=grid_runner())
 
     results = run_once(benchmark, run)
     # Figure 4a envelope: downlink mean delay < 200 ms at every size,

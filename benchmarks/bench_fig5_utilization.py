@@ -2,14 +2,15 @@
 
 from repro.core.study import fig5_utilization, render_fig5
 
-from benchmarks.common import run_once, scaled_duration
+from benchmarks.common import grid_runner, run_once, scaled_duration
 
 
 def test_fig5(benchmark):
     duration = scaled_duration(15.0, minimum=10.0)
 
     def run():
-        return fig5_utilization(warmup=8.0, duration=duration, seed=1)
+        return fig5_utilization(warmup=8.0, duration=duration, seed=1,
+                                runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

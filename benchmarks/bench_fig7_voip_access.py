@@ -3,7 +3,13 @@
 from repro.core.paper_data import FIG7A_LISTENS, FIG7B_LISTENS, FIG7B_TALKS
 from repro.core.voip_study import fig7_grid, render_fig7
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_duration,
+)
 
 BUFFERS = (8, 64, 256)
 WORKLOADS = ("noBG", "long-few", "long-many")
@@ -18,7 +24,8 @@ def test_fig7b_upload_activity(benchmark):
 
     def run():
         return fig7_grid("up", buffers, workloads=workloads, calls=1,
-                         warmup=10.0, duration=duration, seed=3)
+                         warmup=10.0, duration=duration, seed=3,
+                         runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
@@ -49,7 +56,8 @@ def test_fig7a_download_activity(benchmark):
 
     def run():
         return fig7_grid("down", BUFFERS, workloads=WORKLOADS, calls=1,
-                         warmup=8.0, duration=duration, seed=3)
+                         warmup=8.0, duration=duration, seed=3,
+                         runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

@@ -3,7 +3,13 @@
 from repro.core.paper_data import FIG8
 from repro.core.voip_study import fig8_grid, render_fig8
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_duration,
+)
 
 BUFFERS = (8, 749, 7490)
 WORKLOADS = ("noBG", "short-medium", "long")
@@ -18,7 +24,8 @@ def test_fig8(benchmark):
 
     def run():
         return fig8_grid(buffers, workloads=workloads, calls=1,
-                         warmup=12.0, duration=duration, seed=3)
+                         warmup=12.0, duration=duration, seed=3,
+                         runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

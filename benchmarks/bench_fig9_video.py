@@ -3,7 +3,13 @@
 from repro.core.paper_data import FIG9A_HD, FIG9A_SD
 from repro.core.video_study import fig9_grid, render_fig9
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_duration,
+)
 
 ACCESS_BUFFERS = (8, 64, 256)
 ACCESS_WORKLOADS = ("noBG", "long-few", "long-many")
@@ -18,7 +24,8 @@ def test_fig9a_access(benchmark):
 
     def run():
         return fig9_grid("access", ACCESS_BUFFERS, workloads=workloads,
-                         duration=duration, warmup=6.0, seed=4)
+                         duration=duration, warmup=6.0, seed=4,
+                         runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
@@ -52,7 +59,7 @@ def test_fig9b_backbone(benchmark):
     def run():
         return fig9_grid("backbone", BACKBONE_BUFFERS,
                          workloads=BACKBONE_WORKLOADS, duration=duration,
-                         warmup=12.0, seed=4)
+                         warmup=12.0, seed=4, runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

@@ -1,10 +1,15 @@
 """T1: regenerate Table 1's measured workload characteristics."""
 
 from repro.core.paper_data import TABLE1_ACCESS, TABLE1_BACKBONE
-from repro.core.experiment import run_qos_cell
-from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.study import table1_rows
 
-from benchmarks.common import comparison_table, run_once, scale, scaled_duration
+from benchmarks.common import (
+    comparison_table,
+    grid_runner,
+    run_once,
+    scale,
+    scaled_duration,
+)
 
 #: Representative rows (full 12-row access sweep at REPRO_SCALE >= 4).
 ACCESS_ROWS = [("short-few", "down"), ("short-many", "down"),
@@ -17,32 +22,30 @@ def test_table1_access(benchmark):
     duration = scaled_duration(20.0, minimum=10.0)
     rows = ACCESS_ROWS
     if scale() >= 4:
-        rows = [(w, d) for w in ("short-few", "short-many", "long-few",
-                                 "long-many")
-                for d in ("up", "bidir", "down")]
+        rows = None  # table1_rows' default: the full 12-row sweep
 
     def run():
-        return {
-            (w, d): run_qos_cell(access_scenario(w, d), (64, 8),
-                                 warmup=6.0, duration=duration, seed=1)
-            for w, d in rows
-        }
+        return {(row["workload"], row["direction"]): row
+                for row in table1_rows("access", warmup=6.0,
+                                       duration=duration, seed=1,
+                                       workloads=rows,
+                                       runner=grid_runner())}
 
     reports = run_once(benchmark, run)
     table = []
-    for (w, d), report in reports.items():
+    for (w, d), row in reports.items():
         paper = TABLE1_ACCESS[(w, d)]
         table.append((w, d,
-                      "%.1f / %.1f" % (report.up_utilization * 100, paper[0]),
-                      "%.1f / %.1f" % (report.down_utilization * 100, paper[1]),
-                      "%.1f / %.1f" % (report.up_loss * 100, paper[2]),
-                      "%.1f / %.1f" % (report.down_loss * 100, paper[3])))
+                      "%.1f / %.1f" % (row["up_util"] * 100, paper[0]),
+                      "%.1f / %.1f" % (row["down_util"] * 100, paper[1]),
+                      "%.1f / %.1f" % (row["up_loss"] * 100, paper[2]),
+                      "%.1f / %.1f" % (row["down_loss"] * 100, paper[3])))
     comparison_table(
         "Table 1 access (ours/paper): utilization and loss [%]",
         ("workload", "dir", "up util", "down util", "up loss", "down loss"),
         table)
     # Upstream-congestion rows saturate the 1 Mbit/s uplink.
-    assert reports[("short-few", "up")].up_utilization > 0.9
+    assert reports[("short-few", "up")]["up_util"] > 0.9
 
 
 def test_table1_backbone(benchmark):
@@ -52,25 +55,25 @@ def test_table1_backbone(benchmark):
         rows += ["short-overload", "long"]
 
     def run():
-        return {
-            w: run_qos_cell(backbone_scenario(w), 749, warmup=5.0,
-                            duration=duration, seed=1)
-            for w in rows
-        }
+        return {row["workload"]: row
+                for row in table1_rows("backbone", warmup=5.0,
+                                       duration=duration, seed=1,
+                                       workloads=rows,
+                                       runner=grid_runner())}
 
     reports = run_once(benchmark, run)
     table = []
-    for w, report in reports.items():
+    for w, row in reports.items():
         paper = TABLE1_BACKBONE[w]
         table.append((w,
-                      "%.1f / %.1f" % (report.down_utilization * 100, paper[0]),
-                      "%.2f / %.2f" % (report.down_loss * 100, paper[2]),
-                      "%.0f / %d" % (report.concurrent_flows, paper[3])))
+                      "%.1f / %.1f" % (row["down_util"] * 100, paper[0]),
+                      "%.2f / %.2f" % (row["down_loss"] * 100, paper[2]),
+                      "%.0f / %d" % (row["concurrent"], paper[3])))
     comparison_table(
         "Table 1 backbone (ours/paper)",
         ("workload", "down util %", "loss %", "flows"), table)
     # Load ordering must match the paper: low < medium < high.
-    assert (reports["short-low"].down_utilization
-            < reports["short-medium"].down_utilization
-            < reports["short-high"].down_utilization)
-    assert reports["short-high"].down_utilization > 0.9
+    assert (reports["short-low"]["down_util"]
+            < reports["short-medium"]["down_util"]
+            < reports["short-high"]["down_util"])
+    assert reports["short-high"]["down_util"] > 0.9

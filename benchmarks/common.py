@@ -6,9 +6,17 @@ ones.  ``REPRO_SCALE`` (float, default 1.0) multiplies simulated
 durations / repetition counts; raise it for higher-fidelity runs::
 
     REPRO_SCALE=4 pytest benchmarks/ --benchmark-only -s
+
+Grids run through :class:`repro.runner.grid.GridRunner`: cells fan out
+over ``REPRO_WORKERS`` processes and finished cells are cached under
+``.repro_cache/``, so a repeat invocation (same scale/seed/code) skips
+the simulations entirely.  Set ``REPRO_CACHE=0`` to force recomputation
+and ``REPRO_PROGRESS=1`` for per-cell progress/ETA lines.
 """
 
 import os
+
+from repro.runner import GridRunner
 
 
 def scale():
@@ -17,6 +25,11 @@ def scale():
         return float(os.environ.get("REPRO_SCALE", "1.0"))
     except ValueError:
         return 1.0
+
+
+def grid_runner(**kwargs):
+    """The benchmarks' shared grid configuration (env-driven defaults)."""
+    return GridRunner(**kwargs)
 
 
 def scaled_duration(base, minimum=4.0):

@@ -1,8 +1,11 @@
 """Grid sweeps for the QoS part of the study (Figures 4-5, Tables 1-2).
 
-Each function runs one paper artifact's experiment grid and returns
-plain data structures; rendering helpers turn them into the ASCII
-equivalents of the paper's figures.
+Each function declares one paper artifact's experiment grid as
+:class:`repro.runner.task.CellTask` cells and routes them through a
+:class:`repro.runner.grid.GridRunner` (parallel, cached); rendering
+helpers turn the results into the ASCII equivalents of the paper's
+figures.  Pass ``runner=`` to control workers/caching; the default
+runner reads the ``REPRO_WORKERS`` / ``REPRO_CACHE`` env knobs.
 """
 
 import os
@@ -13,9 +16,9 @@ from repro.core.buffers import (
     access_buffer_delays,
     backbone_buffer_delays,
 )
-from repro.core.experiment import run_qos_cell
 from repro.core.scenarios import access_scenario, backbone_scenario
 from repro.qoe.scales import heat_marker_from_delay
+from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid, render_table
 
 #: Workload rows of Figure 4 (y axis order as in the paper).
@@ -31,7 +34,7 @@ def scale_factor(default=1.0):
 
 
 def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
-                    warmup=5.0, duration=20.0, seed=0):
+                    warmup=5.0, duration=20.0, seed=0, runner=None):
     """Figure 4: mean queueing delay per (workload, buffer size).
 
     ``direction`` is the congestion direction: ``"down"``, ``"bidir"``
@@ -39,14 +42,14 @@ def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
     ``{(workload, packets): QosReport}``.
     """
     sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
-    results = {}
-    for workload in workloads:
-        scenario = access_scenario(workload, direction)
-        for packets in sizes:
-            results[(workload, packets)] = run_qos_cell(
-                scenario, packets, warmup=warmup, duration=duration,
-                seed=seed)
-    return results
+    cells = [(workload, packets)
+             for workload in workloads for packets in sizes]
+    tasks = [CellTask.make("qos", access_scenario(workload, direction),
+                           packets, seed=seed, warmup=warmup,
+                           duration=duration)
+             for workload, packets in cells]
+    reports = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, reports))
 
 
 def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
@@ -74,7 +77,8 @@ def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
     return up + "\n\n" + down
 
 
-def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0):
+def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0,
+                     runner=None):
     """Figure 5: per-second link utilization for the bidirectional
     long-many workload (8 uplink / 64 downlink long flows) per buffer.
 
@@ -83,11 +87,11 @@ def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0):
     """
     sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
     scenario = access_scenario("long-many", "bidir")
-    return {
-        packets: run_qos_cell(scenario, packets, warmup=warmup,
-                              duration=duration, seed=seed)
-        for packets in sizes
-    }
+    tasks = [CellTask.make("qos", scenario, packets, seed=seed,
+                           warmup=warmup, duration=duration)
+             for packets in sizes]
+    reports = (runner or GridRunner()).run(tasks)
+    return dict(zip(sizes, reports))
 
 
 def render_fig5(results):
@@ -109,27 +113,36 @@ def render_fig5(results):
 
 
 def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
-                include_overload=True):
+                include_overload=True, workloads=None, runner=None):
     """Measure Table 1's utilization/loss columns at BDP buffers.
 
     Returns a list of dicts, one per (workload, direction) row.
+    ``workloads`` optionally restricts the sweep: a list of
+    ``(name, direction)`` pairs for the access testbed, or a list of
+    names for the backbone.
     """
     rows = []
     if testbed == "access":
-        specs = []
-        for name in ("short-few", "short-many", "long-few", "long-many"):
-            for direction in ("up", "bidir", "down"):
-                specs.append(access_scenario(name, direction))
+        if workloads is None:
+            workloads = [(name, direction)
+                         for name in ("short-few", "short-many",
+                                      "long-few", "long-many")
+                         for direction in ("up", "bidir", "down")]
+        specs = [access_scenario(name, direction)
+                 for name, direction in workloads]
         buffer_packets = (64, 8)  # per-direction BDP, as in the paper
     else:
-        names = ["short-low", "short-medium", "short-high", "long"]
-        if include_overload:
-            names.insert(3, "short-overload")
-        specs = [backbone_scenario(name) for name in names]
+        if workloads is None:
+            workloads = ["short-low", "short-medium", "short-high", "long"]
+            if include_overload:
+                workloads.insert(3, "short-overload")
+        specs = [backbone_scenario(name) for name in workloads]
         buffer_packets = 749
-    for scenario in specs:
-        report = run_qos_cell(scenario, buffer_packets, warmup=warmup,
-                              duration=duration, seed=seed)
+    tasks = [CellTask.make("qos", scenario, buffer_packets, seed=seed,
+                           warmup=warmup, duration=duration)
+             for scenario in specs]
+    reports = (runner or GridRunner()).run(tasks)
+    for scenario, report in zip(specs, reports):
         rows.append({
             "workload": scenario.name,
             "direction": scenario.direction,

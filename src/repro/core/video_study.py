@@ -11,6 +11,7 @@ from repro.qoe.psnr import psnr_sequence
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.ssim import ssim_sequence
 from repro.qoe.video import ssim_to_mos
+from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 FIG9A_WORKLOADS = ("noBG", "long-few", "long-many", "short-few", "short-many")
@@ -53,7 +54,7 @@ def run_video_cell(scenario, buffer_packets, resolution="SD", clip="C",
 
 
 def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
-              clip="C", duration=8.0, warmup=5.0, seed=0):
+              clip="C", duration=8.0, warmup=5.0, seed=0, runner=None):
     """Figure 9: {(workload, packets, resolution): cell result}.
 
     ``testbed`` is ``"access"`` (9a, download activity) or ``"backbone"``
@@ -61,18 +62,22 @@ def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
     """
     if workloads is None:
         workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
-    results = {}
-    for workload in workloads:
+
+    def scenario_for(workload):
         if testbed == "access":
-            scenario = access_scenario(workload, "down")
-        else:
-            scenario = backbone_scenario(workload)
-        for packets in buffers:
-            for resolution in resolutions:
-                results[(workload, packets, resolution)] = run_video_cell(
-                    scenario, packets, resolution=resolution, clip=clip,
-                    duration=duration, warmup=warmup, seed=seed)
-    return results
+            return access_scenario(workload, "down")
+        return backbone_scenario(workload)
+
+    cells = [(workload, packets, resolution)
+             for workload in workloads
+             for packets in buffers
+             for resolution in resolutions]
+    tasks = [CellTask.make("video", scenario_for(workload), packets,
+                           seed=seed, warmup=warmup, duration=duration,
+                           resolution=resolution, clip=clip)
+             for workload, packets, resolution in cells]
+    results = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, results))
 
 
 def render_fig9(results, testbed, buffers, workloads=None,

@@ -19,6 +19,7 @@ from repro.core.workloads import apply_workload
 from repro.apps.voip import VoipCall
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.voip import score_call
+from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 #: Figure 7 row order.
@@ -87,41 +88,35 @@ def median_mos(score_list):
 
 
 def fig7_grid(activity, buffers, workloads=FIG7_WORKLOADS, calls=2,
-              warmup=5.0, duration=8.0, seed=0):
+              warmup=5.0, duration=8.0, seed=0, runner=None):
     """Figure 7: access VoIP MOS per (workload, buffer).
 
     ``activity`` is the background congestion direction: ``"down"``
     (Figure 7a), ``"up"`` (Figure 7b) or ``"bidir"`` (discussed in
     §7.2).  Returns ``{(workload, packets): {"talks": mos, "listens": mos}}``.
     """
-    results = {}
-    for workload in workloads:
-        scenario = access_scenario(workload, activity)
-        for packets in buffers:
-            scores = run_voip_cell(scenario, packets, calls=calls,
-                                   warmup=warmup, duration=duration,
-                                   seed=seed)
-            results[(workload, packets)] = {
-                direction: median_mos(score_list)
-                for direction, score_list in scores.items()
-            }
-    return results
+    cells = [(workload, packets)
+             for workload in workloads for packets in buffers]
+    tasks = [CellTask.make("voip", access_scenario(workload, activity),
+                           packets, seed=seed, warmup=warmup,
+                           duration=duration, calls=calls,
+                           directions=("talks", "listens"))
+             for workload, packets in cells]
+    mos = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, mos))
 
 
 def fig8_grid(buffers, workloads=FIG8_WORKLOADS, calls=2, warmup=5.0,
-              duration=8.0, seed=0):
+              duration=8.0, seed=0, runner=None):
     """Figure 8: backbone VoIP MOS (unidirectional, server -> client)."""
-    results = {}
-    for workload in workloads:
-        scenario = backbone_scenario(workload)
-        for packets in buffers:
-            scores = run_voip_cell(scenario, packets, calls=calls,
-                                   warmup=warmup, duration=duration,
-                                   seed=seed, directions=("listens",))
-            results[(workload, packets)] = {
-                "listens": median_mos(scores["listens"])
-            }
-    return results
+    cells = [(workload, packets)
+             for workload in workloads for packets in buffers]
+    tasks = [CellTask.make("voip", backbone_scenario(workload), packets,
+                           seed=seed, warmup=warmup, duration=duration,
+                           calls=calls, directions=("listens",))
+             for workload, packets in cells]
+    mos = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, mos))
 
 
 def render_fig7(results, activity, buffers, workloads=FIG7_WORKLOADS):

@@ -8,6 +8,7 @@ from repro.core.scenarios import access_scenario, backbone_scenario
 from repro.core.workloads import apply_workload
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.web import g1030_mos, min_plt_for
+from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 FIG10_WORKLOADS = ("noBG", "long-few", "long-many", "short-few", "short-many")
@@ -62,30 +63,31 @@ def run_web_cell(scenario, buffer_packets, fetches=10, warmup=5.0, seed=0,
 
 
 def fig10_grid(activity, buffers, workloads=FIG10_WORKLOADS, fetches=10,
-               warmup=5.0, seed=0):
+               warmup=5.0, seed=0, runner=None):
     """Figure 10: access WebQoE per (workload, buffer).
 
     ``activity`` is ``"down"`` (10a), ``"up"`` (10b) or ``"bidir"``.
     """
-    results = {}
-    for workload in workloads:
-        scenario = access_scenario(workload, activity)
-        for packets in buffers:
-            results[(workload, packets)] = run_web_cell(
-                scenario, packets, fetches=fetches, warmup=warmup, seed=seed)
-    return results
+    cells = [(workload, packets)
+             for workload in workloads for packets in buffers]
+    tasks = [CellTask.make("web", access_scenario(workload, activity),
+                           packets, seed=seed, warmup=warmup,
+                           fetches=fetches)
+             for workload, packets in cells]
+    results = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, results))
 
 
 def fig11_grid(buffers, workloads=FIG11_WORKLOADS, fetches=10, warmup=5.0,
-               seed=0):
+               seed=0, runner=None):
     """Figure 11: backbone WebQoE."""
-    results = {}
-    for workload in workloads:
-        scenario = backbone_scenario(workload)
-        for packets in buffers:
-            results[(workload, packets)] = run_web_cell(
-                scenario, packets, fetches=fetches, warmup=warmup, seed=seed)
-    return results
+    cells = [(workload, packets)
+             for workload in workloads for packets in buffers]
+    tasks = [CellTask.make("web", backbone_scenario(workload), packets,
+                           seed=seed, warmup=warmup, fetches=fetches)
+             for workload, packets in cells]
+    results = (runner or GridRunner()).run(tasks)
+    return dict(zip(cells, results))
 
 
 def render_fig10(results, activity, buffers, workloads=FIG10_WORKLOADS,

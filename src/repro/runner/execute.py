@@ -1,0 +1,136 @@
+"""Executable bodies of grid cells.
+
+:func:`execute_task` runs one :class:`repro.runner.task.CellTask` and
+returns a JSON-ready payload; :func:`revive` turns a payload (fresh or
+cache-loaded) back into the value the study layer expects.  Everything
+here is module-level and picklable so the grid runner can ship tasks to
+worker processes.  Study-layer imports happen lazily inside the
+executors to keep ``repro.runner`` import-light and cycle-free.
+"""
+
+from dataclasses import asdict
+
+
+def queue_factory_for(discipline):
+    """Map a discipline name to a ``capacity_packets -> Queue`` factory.
+
+    ``"droptail"`` returns None so networks keep their default factory.
+    """
+    if discipline in (None, "droptail"):
+        return None
+    if discipline == "red":
+        from repro.sim.queues import REDQueue
+
+        return lambda capacity: REDQueue(capacity_packets=capacity)
+    if discipline == "codel":
+        from repro.sim.queues import CoDelQueue
+
+        return lambda capacity: CoDelQueue(capacity_packets=capacity)
+    raise ValueError("unknown queue discipline %r" % (discipline,))
+
+
+def jsonify(value):
+    """Convert a result payload to pure JSON types.
+
+    Numpy scalars become Python floats/ints and tuples become lists, so a
+    payload is bit-identical whether it comes straight from a worker or
+    back out of the JSON cache.
+    """
+    # Exact type checks: np.float64 subclasses float but must still be
+    # converted so fresh and cache-loaded payloads are indistinguishable.
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, dict):
+        return {key: jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    import numpy as np
+
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(item) for item in value.tolist()]
+    raise TypeError("cell payload is not JSON-serializable: %r" % (value,))
+
+
+# ---------------------------------------------------------------------------
+# Per-kind executors: CellTask -> JSON-ready payload.
+# ---------------------------------------------------------------------------
+def _run_qos(task):
+    from repro.core.experiment import run_qos_cell
+
+    report = run_qos_cell(
+        task.scenario, task.buffer_packets, warmup=task.warmup,
+        duration=task.duration, seed=task.seed,
+        queue_factory=queue_factory_for(task.discipline))
+    return asdict(report)
+
+
+def _run_voip(task):
+    from repro.core.voip_study import median_mos, run_voip_cell
+
+    params = task.params_dict
+    directions = tuple(params.get("directions", ("talks", "listens")))
+    scores = run_voip_cell(
+        task.scenario, task.buffer_packets, calls=params.get("calls", 2),
+        warmup=task.warmup, seed=task.seed, duration=task.duration,
+        directions=directions,
+        queue_factory=queue_factory_for(task.discipline))
+    return {direction: median_mos(score_list)
+            for direction, score_list in scores.items()}
+
+
+def _run_video(task):
+    from repro.core.video_study import run_video_cell
+
+    params = task.params_dict
+    return run_video_cell(
+        task.scenario, task.buffer_packets,
+        resolution=params.get("resolution", "SD"),
+        clip=params.get("clip", "C"), duration=task.duration,
+        warmup=task.warmup, seed=task.seed, arq=params.get("arq", False),
+        queue_factory=queue_factory_for(task.discipline))
+
+
+def _run_web(task):
+    from repro.core.web_study import run_web_cell
+
+    params = task.params_dict
+    return run_web_cell(
+        task.scenario, task.buffer_packets,
+        fetches=params.get("fetches", 10), warmup=task.warmup,
+        seed=task.seed, queue_factory=queue_factory_for(task.discipline))
+
+
+_EXECUTORS = {
+    "qos": _run_qos,
+    "voip": _run_voip,
+    "video": _run_video,
+    "web": _run_web,
+}
+
+
+def execute_task(task):
+    """Run one cell simulation and return its JSON-ready payload."""
+    return jsonify(_EXECUTORS[task.kind](task))
+
+
+# ---------------------------------------------------------------------------
+# Revivers: payload -> the value the study layer consumes.
+# ---------------------------------------------------------------------------
+def _revive_qos(task, payload):
+    from repro.core.experiment import QosReport
+
+    fields = dict(payload)
+    # JSON turned a (down, up) tuple into a list; restore from the task.
+    fields["buffer_packets"] = task.buffer_packets
+    return QosReport(**fields)
+
+
+def revive(task, payload):
+    """Rebuild the study-layer result object from a cell payload."""
+    if task.kind == "qos":
+        return _revive_qos(task, payload)
+    return payload

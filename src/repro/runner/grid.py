@@ -1,0 +1,140 @@
+"""Parallel grid execution with result caching and progress reporting.
+
+The paper's artifacts are grids of independent (scenario x buffer x
+seed) cells, so :class:`GridRunner` fans them out over a process pool.
+Each cell builds its own :class:`repro.sim.engine.Simulator` and derives
+all randomness from its task's seed, so results are bit-identical to a
+serial run regardless of worker count or completion order.  Finished
+cells land in a JSON cache keyed by task content hash; repeat runs skip
+their simulations entirely.
+"""
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.runner.cache import ResultCache
+from repro.runner.execute import execute_task, revive
+
+
+def resolve_workers(workers=None):
+    """Worker count: explicit arg > ``REPRO_WORKERS`` env > cpu count."""
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "")
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+        if workers is None:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _progress_enabled_by_env():
+    return os.environ.get("REPRO_PROGRESS", "0").lower() not in (
+        "0", "", "false", "no", "off")
+
+
+class GridRunner:
+    """Run a list of :class:`repro.runner.task.CellTask` cells.
+
+    Parameters
+    ----------
+    workers:
+        Process count; None reads ``REPRO_WORKERS`` and falls back to
+        ``os.cpu_count()``.  ``workers=1`` runs serially in-process (no
+        pool), which keeps tracebacks and debuggers usable.
+    cache:
+        A :class:`repro.runner.cache.ResultCache`; None builds the
+        default one.  Pass ``use_cache=False`` to disable caching.
+    progress:
+        Emit per-cell progress/ETA lines; None reads ``REPRO_PROGRESS``.
+    """
+
+    def __init__(self, workers=None, cache=None, use_cache=True,
+                 progress=None, log=None):
+        self.workers = resolve_workers(workers)
+        self.cache = (cache or ResultCache()) if use_cache else None
+        self.progress = (_progress_enabled_by_env() if progress is None
+                         else progress)
+        self._log = log or (lambda message: print(
+            message, file=sys.stderr, flush=True))
+        #: Statistics of the most recent :meth:`run` call.
+        self.last_stats = {}
+
+    # ------------------------------------------------------------------
+    def run(self, tasks):
+        """Execute every task; returns results aligned with ``tasks``."""
+        tasks = list(tasks)
+        payloads = [None] * len(tasks)
+
+        pending = []
+        for index, task in enumerate(tasks):
+            payload = self.cache.get(task) if self._caching else None
+            if payload is None:
+                pending.append(index)
+            else:
+                payloads[index] = payload
+        cached = len(tasks) - len(pending)
+
+        self._say("running %d cells (%d cached) on %d worker%s" % (
+            len(tasks), cached, self.workers,
+            "" if self.workers == 1 else "s"))
+        started = time.monotonic()
+        if self.workers == 1 or len(pending) <= 1:
+            for done, index in enumerate(pending, start=1):
+                payloads[index] = execute_task(tasks[index])
+                self._finish(tasks[index], payloads[index],
+                             done, len(pending), started)
+        elif pending:
+            pool_size = min(self.workers, len(pending))
+            failure = None
+            done = 0
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                futures = {pool.submit(execute_task, tasks[index]): index
+                           for index in pending}
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        payloads[index] = future.result()
+                    except BaseException as exc:
+                        # Keep draining so sibling cells that already
+                        # finished still reach the cache; re-raise after.
+                        if failure is None:
+                            failure = exc
+                        continue
+                    done += 1
+                    self._finish(tasks[index], payloads[index],
+                                 done, len(pending), started)
+            if failure is not None:
+                raise failure
+
+        self.last_stats = {
+            "cells": len(tasks),
+            "cached": cached,
+            "computed": len(pending),
+            "workers": self.workers,
+            "elapsed": time.monotonic() - started,
+        }
+        return [revive(task, payload)
+                for task, payload in zip(tasks, payloads)]
+
+    # ------------------------------------------------------------------
+    @property
+    def _caching(self):
+        return self.cache is not None and self.cache.enabled
+
+    def _finish(self, task, payload, done, total, started):
+        if self._caching:
+            self.cache.put(task, payload)
+        if done and total:
+            elapsed = time.monotonic() - started
+            eta = elapsed / done * (total - done)
+            self._say("cell %d/%d done (%s) elapsed %.1fs eta %.1fs"
+                      % (done, total, task.label, elapsed, eta))
+
+    def _say(self, message):
+        if self.progress:
+            self._log("[gridrunner] " + message)

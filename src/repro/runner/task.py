@@ -1,0 +1,100 @@
+"""Cell task descriptions for the grid runner.
+
+A :class:`CellTask` is the declarative unit of work of every paper grid:
+one (scenario, buffer size, seed) cell plus the measurement windows and
+queue discipline that fully determine its result.  Tasks are frozen,
+picklable (so they can cross a process-pool boundary) and carry a stable
+content hash that keys the on-disk result cache.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+#: Bump when the meaning of a cached payload changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Cell kinds understood by :mod:`repro.runner.execute`.
+KINDS = ("qos", "voip", "video", "web")
+
+#: Queue disciplines understood by :func:`repro.runner.execute.queue_factory_for`.
+DISCIPLINES = ("droptail", "red", "codel")
+
+
+def _jsonable(value):
+    """Make hash inputs canonical: tuples become lists, recursively."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One grid cell: everything that determines one simulation's result.
+
+    ``params`` holds kind-specific keyword arguments (e.g. ``calls`` and
+    ``directions`` for VoIP cells) as a sorted item tuple so the task
+    stays hashable; build tasks through :meth:`make`, which accepts them
+    as plain keywords.
+    """
+
+    kind: str
+    scenario: object  # repro.core.scenarios.Scenario
+    buffer_packets: object  # int, or a (down, up) tuple
+    seed: int = 0
+    warmup: float = 5.0
+    duration: float = 20.0
+    discipline: str = "droptail"
+    params: tuple = ()
+
+    @classmethod
+    def make(cls, kind, scenario, buffer_packets, seed=0, warmup=5.0,
+             duration=20.0, discipline="droptail", **params):
+        if kind not in KINDS:
+            raise ValueError("unknown cell kind %r (have %s)" % (kind, KINDS))
+        if discipline not in DISCIPLINES:
+            raise ValueError("unknown discipline %r (have %s)"
+                             % (discipline, DISCIPLINES))
+        if isinstance(buffer_packets, list):
+            buffer_packets = tuple(buffer_packets)
+        if kind == "web":
+            # Web cells run a fixed fetch count, not a measurement window;
+            # normalize the unused knob so semantically identical cells
+            # share one cache key.
+            duration = 0.0
+        return cls(kind=kind, scenario=scenario,
+                   buffer_packets=buffer_packets, seed=seed, warmup=warmup,
+                   duration=duration, discipline=discipline,
+                   params=tuple(sorted(params.items())))
+
+    @property
+    def params_dict(self):
+        return dict(self.params)
+
+    @property
+    def label(self):
+        """Short human-readable cell label for progress lines."""
+        return "%s %s buf=%s seed=%d" % (
+            self.kind, self.scenario, self.buffer_packets, self.seed)
+
+    def describe(self):
+        """Stable JSON-ready description of the task (the hash input)."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "scenario": _jsonable(asdict(self.scenario)),
+            "buffer_packets": _jsonable(self.buffer_packets),
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "duration": self.duration,
+            "discipline": self.discipline,
+            "params": _jsonable(self.params_dict),
+        }
+
+    def content_hash(self):
+        """Hex digest identifying the task's full configuration."""
+        blob = json.dumps(self.describe(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -83,7 +83,11 @@ class Simulator:
 
         Returns the number of events executed.  When ``until`` is given the
         clock is advanced to ``until`` even if the heap drained earlier, so
-        that back-to-back ``run`` calls behave like one continuous run.
+        that back-to-back ``run`` calls behave like one continuous run.  A
+        ``max_events`` break leaves the clock on the last executed event:
+        fast-forwarding past still-pending events would make the next
+        ``run`` move the clock backwards and ``schedule_at`` spuriously
+        reject legal times.
         """
         heap = self._heap
         executed = 0
@@ -101,7 +105,10 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 break
         if until is not None and until > self.now and not self._stopped:
-            self.now = until
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+            if not heap or heap[0].time > until:
+                self.now = until
         return executed
 
     def stop(self):

@@ -91,8 +91,16 @@ class Interface:
     def _tx_done(self, packet):
         stats = self.stats
         stats.tx_packets += 1
-        stats.tx_bytes += packet.size
-        stats.busy_time += self.sim.now - max(self._tx_started, stats.window_start)
+        # A packet in flight across a reset_stats() only counts for the part
+        # of its serialization inside the new window; crediting the whole
+        # size would overstate post-warm-up utilization on slow links.
+        started = max(self._tx_started, stats.window_start)
+        tx_time = self.sim.now - self._tx_started
+        if tx_time > 0.0:
+            stats.tx_bytes += packet.size * (self.sim.now - started) / tx_time
+        else:
+            stats.tx_bytes += packet.size
+        stats.busy_time += self.sim.now - started
         if self.dst_node is not None:
             self.sim.schedule(self.prop_delay, self.dst_node.receive, packet)
         self._start_next()

@@ -64,6 +64,13 @@ class QueueStats:
         return self.delay_sum / self.delay_samples
 
     @property
+    def mean_occupancy(self):
+        """Mean queue depth (packets) observed at enqueue instants."""
+        if not self.occupancy_samples:
+            return 0.0
+        return sum(self.occupancy_samples) / len(self.occupancy_samples)
+
+    @property
     def loss_rate(self):
         """Fraction of arriving packets dropped."""
         arrived = self.enqueued + self.dropped
@@ -71,9 +78,11 @@ class QueueStats:
             return 0.0
         return self.dropped / arrived
 
-    def record_enqueue(self, packet):
+    def record_enqueue(self, packet, occupancy=None):
         self.enqueued += 1
         self.bytes_enqueued += packet.size
+        if occupancy is not None:
+            self.occupancy_samples.append(occupancy)
 
     def record_drop(self, packet):
         self.dropped += 1
@@ -131,7 +140,7 @@ class Queue:
         packet.enqueued_at = now
         self._queue.append(packet)
         self._bytes += packet.size
-        self.stats.record_enqueue(packet)
+        self.stats.record_enqueue(packet, occupancy=len(self._queue))
 
     def _reject(self, packet):
         self.stats.record_drop(packet)

@@ -90,6 +90,47 @@ def test_max_events_limit():
     assert seen == [0, 1, 2, 3]
 
 
+def test_max_events_break_does_not_fast_forward_clock():
+    """Regression: a max_events break with events still pending before
+    ``until`` must not jump the clock to ``until`` — the next run() would
+    execute those events with the clock moving backwards."""
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    executed = sim.run(until=5.0, max_events=1)
+    assert executed == 1
+    assert seen == ["a"]
+    assert sim.now == 1.0  # not 5.0: the 2.0 event has not run yet
+    # Scheduling between the pending event and the old `until` is legal.
+    sim.schedule_at(1.5, seen.append, "mid")
+    sim.run(until=5.0)
+    assert seen == ["a", "mid", "b"]
+    assert sim.now == 5.0
+
+
+def test_clock_never_moves_backwards_across_runs():
+    sim = Simulator()
+    times = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule_at(t, lambda: times.append(sim.now))
+    sim.run(until=10.0, max_events=2)
+    sim.run(until=10.0)
+    assert times == sorted(times)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_run_until_skips_cancelled_events_when_fast_forwarding():
+    # A cancelled event below `until` must not pin the clock.
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    late = sim.schedule(7.0, lambda: None)
+    event.cancel()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert not late.cancelled
+
+
 def test_timer_restart_and_cancel():
     sim = Simulator()
     fires = []

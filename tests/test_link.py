@@ -1,0 +1,59 @@
+"""Unit tests for Interface transmit accounting."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Interface
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+def make_packet(size=1000):
+    return Packet(src=1, dst=2, sport=1, dport=2, proto="udp", size=size)
+
+
+def make_interface(sim, rate_bps=8000.0):
+    return Interface(sim, "slow", rate_bps, 0.0,
+                     DropTailQueue(capacity_packets=10))
+
+
+def test_full_packet_credited_inside_window():
+    sim = Simulator()
+    iface = make_interface(sim)  # 1000 B takes exactly 1 s
+    iface.send(make_packet())
+    sim.run(until=2.0)
+    assert iface.stats.tx_packets == 1
+    assert iface.stats.tx_bytes == pytest.approx(1000.0)
+    assert iface.stats.busy_time == pytest.approx(1.0)
+    # 8000 bits over a 2 s window at 8000 bit/s -> 50%.
+    assert iface.utilization() == pytest.approx(0.5)
+
+
+def test_inflight_packet_prorated_across_reset():
+    """Regression: a packet in flight across the warm-up reset must only
+    credit the bytes serialized inside the new measurement window, the
+    same proration reset_stats already applies to busy_time."""
+    sim = Simulator()
+    iface = make_interface(sim)  # 1000 B takes exactly 1 s
+    iface.send(make_packet())    # serialization spans [0.0, 1.0]
+    sim.run(until=0.75)
+    iface.reset_stats()          # warm-up ends mid-transmission
+    sim.run(until=1.75)
+    # Only the final 0.25 s of the packet lies inside the window.
+    assert iface.stats.tx_bytes == pytest.approx(250.0)
+    assert iface.stats.busy_time == pytest.approx(0.25)
+    # Window [0.75, 1.75]: 250 B * 8 / (8000 bit/s * 1 s) = 25%, not 100%.
+    assert iface.utilization() == pytest.approx(0.25)
+
+
+def test_back_to_back_packets_after_reset_fully_credited():
+    sim = Simulator()
+    iface = make_interface(sim)
+    for __ in range(3):
+        iface.send(make_packet())
+    sim.run(until=1.5)           # 1.5 packets serialized
+    iface.reset_stats()
+    sim.run(until=4.0)           # remaining 1.5 packets finish by t=3
+    # Half of packet #2 plus all of packet #3 fall inside the window.
+    assert iface.stats.tx_bytes == pytest.approx(1500.0)
+    assert iface.stats.busy_time == pytest.approx(1.5)

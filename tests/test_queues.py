@@ -66,6 +66,27 @@ class TestDropTail:
         assert queue.stats.enqueued == 0
         assert len(queue) == 1
 
+    def test_occupancy_recorded_on_enqueue(self):
+        queue = DropTailQueue(capacity_packets=3)
+        for __ in range(3):
+            queue.push(make_packet(), 0.0)
+        assert queue.stats.occupancy_samples == [1, 2, 3]
+        queue.push(make_packet(), 0.0)  # dropped: no occupancy sample
+        assert queue.stats.occupancy_samples == [1, 2, 3]
+        queue.pop(1.0)
+        queue.push(make_packet(), 1.0)
+        assert queue.stats.occupancy_samples == [1, 2, 3, 3]
+        assert queue.stats.mean_occupancy == pytest.approx(2.25)
+
+    def test_occupancy_cleared_on_reset(self):
+        queue = DropTailQueue(capacity_packets=5)
+        queue.push(make_packet(), 0.0)
+        queue.stats.reset()
+        assert queue.stats.occupancy_samples == []
+        assert queue.stats.mean_occupancy == 0.0
+        queue.push(make_packet(), 1.0)
+        assert queue.stats.occupancy_samples == [2]
+
 
 class TestRed:
     def test_no_drops_below_min_threshold(self):
@@ -137,6 +158,55 @@ class TestCoDel:
         for __ in range(5):
             queue.push(make_packet(), 0.0)
         assert len(queue) == 3
+
+    def test_dropping_state_reentry_fast_restart(self):
+        """Re-entering the dropping state shortly after leaving it resumes
+        the control law near the old rate (drop_count = prev - 2) instead
+        of restarting from 1."""
+        queue = CoDelQueue(capacity_packets=100, target=0.005, interval=0.1)
+        for __ in range(30):
+            queue.push(make_packet(), 0.0)
+        assert queue.pop(1.0) is not None   # arms first_above_time
+        assert queue.pop(1.2) is not None   # enters dropping, count = 1
+        assert queue.dropping
+        assert queue.drop_count == 1
+        queue.pop(1.35)                     # control-law drops build count
+        queue.pop(1.45)
+        # Drain to a small backlog so the sojourn test passes and the
+        # queue leaves the dropping state.
+        while len(queue) > 4:
+            queue.pop(1.5)
+        assert not queue.dropping
+        prev = queue.drop_count
+        assert prev > 2                     # precondition of the fast path
+        # Congest again within 8*interval of drop_next.
+        for __ in range(10):
+            queue.push(make_packet(), 1.5)
+        assert queue.pop(1.7) is not None   # re-arms first_above_time
+        assert queue.pop(1.81) is not None  # re-enters the dropping state
+        assert queue.dropping
+        assert queue.drop_count == prev - 2
+
+    def test_dropping_state_reentry_cold_after_long_gap(self):
+        """Well beyond 8*interval after the last drop, re-entry restarts
+        the control law from drop_count = 1."""
+        queue = CoDelQueue(capacity_packets=100, target=0.005, interval=0.1)
+        for __ in range(30):
+            queue.push(make_packet(), 0.0)
+        queue.pop(1.0)
+        queue.pop(1.2)
+        queue.pop(1.35)
+        queue.pop(1.45)
+        while len(queue) > 4:
+            queue.pop(1.5)
+        assert not queue.dropping
+        assert queue.drop_count > 2
+        for __ in range(10):
+            queue.push(make_packet(), 10.0)
+        queue.pop(11.0)                     # sojourn 1 s: arms first_above
+        assert queue.pop(11.11) is not None
+        assert queue.dropping
+        assert queue.drop_count == 1
 
 
 @given(
