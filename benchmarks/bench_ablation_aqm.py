@@ -1,53 +1,33 @@
 """A1 (extension): AQM ablation — drop-tail vs RED vs CoDel.
 
 The paper motivates CoDel as the bufferbloat community's answer (§1,
-§3).  This ablation replays the worst VoIP cell — upload congestion with
-a bloated 256-packet uplink buffer — under the three disciplines.  AQM
-should recover most of the MOS that drop-tail loses to standing queues.
+§3).  The registered ``aqm-voip`` sweep replays the worst VoIP cell —
+upload congestion with a bloated 256-packet uplink buffer — under the
+three queue disciplines.  AQM should recover most of the MOS that
+drop-tail loses to standing queues.
 """
 
-import numpy as np
+from repro.core.registry import get
 
-from repro.core.scenarios import access_scenario
-from repro.core.voip_study import median_mos, run_voip_cell
-from repro.sim.queues import CoDelQueue, DropTailQueue, REDQueue
+from benchmarks.common import comparison_table, grid_runner, run_once
 
-from benchmarks.common import comparison_table, run_once, scaled_duration
-
-
-def _factories():
-    return {
-        "drop-tail": lambda packets: DropTailQueue(capacity_packets=packets),
-        "red": lambda packets: REDQueue(capacity_packets=packets,
-                                        rng=np.random.default_rng(9)),
-        "codel": lambda packets: CoDelQueue(capacity_packets=packets),
-    }
+SPEC = get("aqm-voip")
 
 
 def test_aqm_rescues_bloated_uplink(benchmark):
-    duration = scaled_duration(8.0, minimum=5.0)
-    scenario = access_scenario("long-few", "up")
-
     def run():
-        out = {}
-        for name, factory in _factories().items():
-            scores = run_voip_cell(scenario, 256, calls=1, warmup=12.0,
-                                   duration=duration, seed=3,
-                                   queue_factory=factory)
-            out[name] = {
-                "talks": median_mos(scores["talks"]),
-                "listens": median_mos(scores["listens"]),
-                "delay": scores["talks"][0].mouth_to_ear_delay,
-            }
-        return out
+        return SPEC.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
-    rows = [(name, "%.1f" % cell["talks"], "%.1f" % cell["listens"],
-             "%.0f ms" % (cell["delay"] * 1000))
-            for name, cell in results.items()]
+    rows = [("%s @ %d pkts" % (discipline, packets),
+             "%.1f" % cell["talks"], "%.1f" % cell["listens"],
+             "%.0f ms" % (cell["delay"]["talks"] * 1000))
+            for (workload, packets, discipline), cell in results.items()]
     comparison_table(
-        "A1: VoIP under upload congestion, 256-pkt uplink buffer",
-        ("queue", "talks MOS", "listens MOS", "mouth-to-ear"), rows)
+        "A1: VoIP under upload congestion per queue discipline",
+        ("queue @ buffer", "talks MOS", "listens MOS", "mouth-to-ear"), rows)
     # CoDel must bound the standing queue that drop-tail lets grow.
-    assert results["codel"]["delay"] < results["drop-tail"]["delay"]
-    assert results["codel"]["talks"] >= results["drop-tail"]["talks"]
+    droptail = results[("long-few", 256, "droptail")]
+    codel = results[("long-few", 256, "codel")]
+    assert codel["delay"]["talks"] < droptail["delay"]["talks"]
+    assert codel["talks"] >= droptail["talks"]

@@ -1,18 +1,13 @@
-"""F10: regenerate Figure 10 (WebQoE heatmaps, access testbed)."""
+"""F10: regenerate Figure 10 (WebQoE heatmaps, access testbed).
+
+Grids come from the registered ``fig10a`` / ``fig10b`` sweeps.
+"""
 
 from repro.core.paper_data import FIG10A, FIG10B
-from repro.core.web_study import fig10_grid, render_fig10
+from repro.core.registry import get
+from repro.core.web_study import render_fig10
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_count,
-)
-
-BUFFERS = (8, 64, 256)
-WORKLOADS = ("noBG", "long-few", "long-many", "short-few")
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def _table(results, paper, workloads, buffers, title):
@@ -29,18 +24,17 @@ def _table(results, paper, workloads, buffers, title):
 
 
 def test_fig10a_download_activity(benchmark):
-    fetches = scaled_count(8, minimum=4)
-    buffers = BUFFERS if scale() < 4 else (8, 16, 32, 64, 128, 256)
+    spec = get("fig10a")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig10_grid("down", buffers, workloads=WORKLOADS,
-                          fetches=fetches, warmup=8.0, seed=5,
-                          runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig10(results, "down", buffers, workloads=WORKLOADS))
-    _table(results, FIG10A, WORKLOADS, buffers,
+    print(render_fig10(results, "down", buffers, workloads=workloads))
+    _table(results, FIG10A, workloads, buffers,
            "Figure 10a (ours/paper): PLT under download congestion")
     # Baseline is excellent; long-many pins the page load regardless of
     # buffer; long-few shows the bufferbloat PLT growth with buffer size.
@@ -51,19 +45,17 @@ def test_fig10a_download_activity(benchmark):
 
 
 def test_fig10b_upload_activity(benchmark):
-    fetches = scaled_count(6, minimum=3)
+    spec = get("fig10b")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig10_grid("up", BUFFERS, workloads=("noBG", "long-few",
-                                                    "short-many"),
-                          fetches=fetches, warmup=8.0, seed=5,
-                          runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig10(results, "up", BUFFERS,
-                       workloads=("noBG", "long-few", "short-many")))
-    _table(results, FIG10B, ("noBG", "long-few", "short-many"), BUFFERS,
+    print(render_fig10(results, "up", buffers, workloads=workloads))
+    _table(results, FIG10B, workloads, buffers,
            "Figure 10b (ours/paper): PLT under upload congestion")
     # Upload congestion wrecks the page load; small uplink buffers keep
     # long-few barely acceptable (the paper's only tolerable upload cell).

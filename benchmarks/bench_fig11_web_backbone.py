@@ -1,37 +1,31 @@
-"""F11: regenerate Figure 11 (WebQoE heatmap, backbone testbed)."""
+"""F11: regenerate Figure 11 (WebQoE heatmap, backbone testbed).
+
+The grid is the registered ``fig11`` sweep (full workload axis at
+``REPRO_SCALE >= 2``).
+"""
 
 from repro.core.paper_data import FIG11
-from repro.core.web_study import fig11_grid, render_fig10
+from repro.core.registry import get
+from repro.core.web_study import render_fig10
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_count,
-)
-
-BUFFERS = (8, 749, 7490)
-WORKLOADS = ("noBG", "short-medium", "long")
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_fig11(benchmark):
-    fetches = scaled_count(5, minimum=3)
-    workloads = WORKLOADS if scale() < 2 else (
-        "noBG", "short-low", "short-medium", "short-high",
-        "short-overload", "long")
+    spec = get("fig11")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig11_grid(BUFFERS, workloads=workloads, fetches=fetches,
-                          warmup=15.0, seed=5, runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig10(results, "backbone", BUFFERS, workloads=workloads,
+    print(render_fig10(results, "backbone", buffers, workloads=workloads,
                        title="Figure 11"))
     rows = []
     for workload in workloads:
-        for packets in BUFFERS:
+        for packets in buffers:
             cell = results[(workload, packets)]
             rows.append((workload, packets,
                          "%.1f / %.1f" % (cell["median_plt"],

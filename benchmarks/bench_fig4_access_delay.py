@@ -1,42 +1,32 @@
-"""F4: regenerate Figure 4 (mean queueing delay heatmaps, access)."""
+"""F4: regenerate Figure 4 (mean queueing delay heatmaps, access).
+
+Grids come from the registered ``fig4-up`` / ``fig4-down`` sweeps; at
+``REPRO_SCALE >= 4`` the upstream sweep switches to the full four-row
+workload axis automatically.
+"""
 
 from repro.core.paper_data import FIG4_UP_ONLY_UPLINK
-from repro.core.study import fig4_delay_grid, render_fig4
+from repro.core.registry import get
+from repro.core.study import render_fig4
 from repro.qoe.scales import g114_class
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_duration,
-)
-
-BUFFER_SIZES = (8, 16, 32, 64, 128, 256)
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_fig4_upstream(benchmark):
-    duration = scaled_duration(12.0, minimum=8.0)
-    workloads = ("long-few", "short-few") if scale() < 4 else (
-        "long-few", "long-many", "short-few", "short-many")
+    spec = get("fig4-up")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig4_delay_grid("up", workloads=workloads, warmup=8.0,
-                               duration=duration, seed=2,
-                               runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-
-    class _Buf:
-        def __init__(self, packets):
-            self.packets = packets
-
-    print(render_fig4(results, "up", buffers=[_Buf(p) for p in BUFFER_SIZES],
-                      workloads=workloads))
+    print(render_fig4(results, "up", buffers=buffers, workloads=workloads))
     rows = []
     for workload in workloads:
-        for packets in BUFFER_SIZES:
+        for packets in buffers:
             ours = results[(workload, packets)].up_mean_delay * 1000
             paper = FIG4_UP_ONLY_UPLINK[(workload, packets)]
             rows.append((workload, packets, "%.0f" % ours, "%.0f" % paper))
@@ -45,24 +35,22 @@ def test_fig4_upstream(benchmark):
     # The bufferbloat staircase: delay grows with buffer size and crosses
     # the G.114 "bad" boundary at the oversized configurations.
     for workload in workloads:
-        delays = [results[(workload, p)].up_mean_delay for p in BUFFER_SIZES]
+        delays = [results[(workload, p)].up_mean_delay for p in buffers]
         assert delays[-1] > delays[0] * 4
         assert g114_class(delays[0]) == "acceptable"
         assert g114_class(delays[-1]) == "bad"
 
 
 def test_fig4_downstream_only(benchmark):
-    duration = scaled_duration(10.0, minimum=6.0)
+    spec = get("fig4-down")
 
     def run():
-        return fig4_delay_grid("down", workloads=("long-many",),
-                               warmup=6.0, duration=duration, seed=2,
-                               runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     # Figure 4a envelope: downlink mean delay < 200 ms at every size,
     # uplink (pure ACK traffic) near zero.
-    for packets in BUFFER_SIZES:
+    for packets in spec.buffer_axis():
         report = results[("long-many", packets)]
         assert report.down_mean_delay < 0.2
         assert report.up_mean_delay < 0.05

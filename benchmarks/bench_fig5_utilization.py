@@ -1,26 +1,33 @@
-"""F5: regenerate Figure 5 (utilization boxplots, bidirectional long)."""
+"""F5: regenerate Figure 5 (utilization boxplots, bidirectional long).
 
-from repro.core.study import fig5_utilization, render_fig5
+The grid is the registered ``fig5`` sweep — the same cells (and cache
+entries) that ``python -m repro run fig5`` executes.
+"""
 
-from benchmarks.common import grid_runner, run_once, scaled_duration
+from repro.core.registry import get
+from repro.core.study import render_fig5
+
+from benchmarks.common import grid_runner, run_once
+
+SPEC = get("fig5")
 
 
 def test_fig5(benchmark):
-    duration = scaled_duration(15.0, minimum=10.0)
-
     def run():
-        return fig5_utilization(warmup=8.0, duration=duration, seed=1,
-                                runner=grid_runner())
+        return SPEC.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
+    by_packets = {packets: report
+                  for (__, packets), report in results.items()}
     print()
-    print(render_fig5(results))
+    print(render_fig5(by_packets))
     # Paper shape: the uplink is pinned near 100% at every size; the
     # downlink suffers when the uplink buffer bloats the ACK path, and
     # small buffers underutilize relative to the best configuration.
-    up_medians = {p: r.up_utilization_boxplot()[2] for p, r in results.items()}
+    up_medians = {p: r.up_utilization_boxplot()[2]
+                  for p, r in by_packets.items()}
     down_medians = {p: r.down_utilization_boxplot()[2]
-                    for p, r in results.items()}
+                    for p, r in by_packets.items()}
     assert min(up_medians.values()) > 0.8
     assert max(down_medians.values()) > 0.55
     assert min(down_medians.values()) < max(down_medians.values())

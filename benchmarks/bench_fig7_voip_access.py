@@ -1,31 +1,24 @@
-"""F7: regenerate Figure 7 (VoIP MOS heatmaps, access testbed)."""
+"""F7: regenerate Figure 7 (VoIP MOS heatmaps, access testbed).
+
+Grids come from the registered ``fig7b`` (upload activity, the headline
+bufferbloat case) and ``fig7a`` (download activity) sweeps.
+"""
 
 from repro.core.paper_data import FIG7A_LISTENS, FIG7B_LISTENS, FIG7B_TALKS
-from repro.core.voip_study import fig7_grid, render_fig7
+from repro.core.registry import get
+from repro.core.voip_study import render_fig7
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_duration,
-)
-
-BUFFERS = (8, 64, 256)
-WORKLOADS = ("noBG", "long-few", "long-many")
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_fig7b_upload_activity(benchmark):
     """The headline bufferbloat result: upload congestion."""
-    duration = scaled_duration(8.0, minimum=5.0)
-    buffers = BUFFERS if scale() < 4 else (8, 16, 32, 64, 128, 256)
-    workloads = WORKLOADS if scale() < 4 else (
-        "noBG", "long-few", "long-many", "short-few", "short-many")
+    spec = get("fig7b")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig7_grid("up", buffers, workloads=workloads, calls=1,
-                         warmup=10.0, duration=duration, seed=3,
-                         runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
@@ -52,19 +45,19 @@ def test_fig7b_upload_activity(benchmark):
 
 
 def test_fig7a_download_activity(benchmark):
-    duration = scaled_duration(8.0, minimum=5.0)
+    spec = get("fig7a")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig7_grid("down", BUFFERS, workloads=WORKLOADS, calls=1,
-                         warmup=8.0, duration=duration, seed=3,
-                         runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig7(results, "down", BUFFERS, workloads=WORKLOADS))
+    print(render_fig7(results, "down", buffers, workloads=workloads))
     rows = []
-    for workload in WORKLOADS:
-        for packets in BUFFERS:
+    for workload in workloads:
+        for packets in buffers:
             cell = results[(workload, packets)]
             rows.append((workload, packets, "%.1f" % cell["talks"],
                          "%.1f / %.1f" % (cell["listens"],

@@ -1,31 +1,23 @@
-"""F8: regenerate Figure 8 (VoIP MOS heatmap, backbone testbed)."""
+"""F8: regenerate Figure 8 (VoIP MOS heatmap, backbone testbed).
+
+The grid is the registered ``fig8`` sweep (full workload/buffer axes at
+``REPRO_SCALE >= 2``).
+"""
 
 from repro.core.paper_data import FIG8
-from repro.core.voip_study import fig8_grid, render_fig8
+from repro.core.registry import get
+from repro.core.voip_study import render_fig8
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_duration,
-)
-
-BUFFERS = (8, 749, 7490)
-WORKLOADS = ("noBG", "short-medium", "long")
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_fig8(benchmark):
-    duration = scaled_duration(8.0, minimum=5.0)
-    buffers = BUFFERS if scale() < 2 else (8, 28, 749, 7490)
-    workloads = WORKLOADS if scale() < 2 else (
-        "noBG", "short-low", "short-medium", "short-high",
-        "short-overload", "long")
+    spec = get("fig8")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig8_grid(buffers, workloads=workloads, calls=1,
-                         warmup=12.0, duration=duration, seed=3,
-                         runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()

@@ -1,38 +1,30 @@
-"""F9: regenerate Figure 9 (RTP video SSIM heatmaps)."""
+"""F9: regenerate Figure 9 (RTP video SSIM heatmaps).
+
+Grids come from the registered ``fig9a`` (access) and ``fig9b``
+(backbone) sweeps; result keys are (workload, buffer, resolution).
+"""
 
 from repro.core.paper_data import FIG9A_HD, FIG9A_SD
-from repro.core.video_study import fig9_grid, render_fig9
+from repro.core.registry import get
+from repro.core.video_study import render_fig9
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_duration,
-)
-
-ACCESS_BUFFERS = (8, 64, 256)
-ACCESS_WORKLOADS = ("noBG", "long-few", "long-many")
-BACKBONE_BUFFERS = (749, 7490)
-BACKBONE_WORKLOADS = ("noBG", "short-medium", "long")
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_fig9a_access(benchmark):
-    duration = scaled_duration(6.0, minimum=4.0)
-    workloads = ACCESS_WORKLOADS if scale() < 4 else (
-        "noBG", "long-few", "long-many", "short-few", "short-many")
+    spec = get("fig9a")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig9_grid("access", ACCESS_BUFFERS, workloads=workloads,
-                         duration=duration, warmup=6.0, seed=4,
-                         runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig9(results, "access", ACCESS_BUFFERS, workloads=workloads))
+    print(render_fig9(results, "access", buffers, workloads=workloads))
     rows = []
     for workload in workloads:
-        for packets in ACCESS_BUFFERS:
+        for packets in buffers:
             sd = results[(workload, packets, "SD")]
             hd = results[(workload, packets, "HD")]
             rows.append((workload, packets,
@@ -45,7 +37,7 @@ def test_fig9a_access(benchmark):
     # Binary behaviour: clean without congestion at every buffer size,
     # bad whenever long flows congest the downlink — and largely
     # independent of the buffer size.
-    for packets in ACCESS_BUFFERS:
+    for packets in buffers:
         assert results[("noBG", packets, "SD")]["ssim"] > 0.99
         assert results[("long-many", packets, "SD")]["ssim"] < 0.75
     # HD weathers loss slightly better than SD (paper's observation).
@@ -54,20 +46,19 @@ def test_fig9a_access(benchmark):
 
 
 def test_fig9b_backbone(benchmark):
-    duration = scaled_duration(6.0, minimum=4.0)
+    spec = get("fig9b")
+    workloads = spec.workloads()
+    buffers = spec.buffer_axis()
 
     def run():
-        return fig9_grid("backbone", BACKBONE_BUFFERS,
-                         workloads=BACKBONE_WORKLOADS, duration=duration,
-                         warmup=12.0, seed=4, runner=grid_runner())
+        return spec.run(runner=grid_runner())
 
     results = run_once(benchmark, run)
     print()
-    print(render_fig9(results, "backbone", BACKBONE_BUFFERS,
-                      workloads=BACKBONE_WORKLOADS))
+    print(render_fig9(results, "backbone", buffers, workloads=workloads))
     # noBG and light load stream cleanly; the sustained long workload
     # degrades the stream regardless of buffer size.
-    for packets in BACKBONE_BUFFERS:
+    for packets in buffers:
         assert results[("noBG", packets, "SD")]["ssim"] > 0.99
     assert (results[("long", 749, "SD")]["ssim"]
             < results[("noBG", 749, "SD")]["ssim"])

@@ -1,35 +1,24 @@
-"""T1: regenerate Table 1's measured workload characteristics."""
+"""T1: regenerate Table 1's measured workload characteristics.
+
+Rows come from the registered ``table1-access`` / ``table1-backbone``
+sweeps (representative rows at scale 1, the full sweeps at higher
+``REPRO_SCALE``).
+"""
 
 from repro.core.paper_data import TABLE1_ACCESS, TABLE1_BACKBONE
-from repro.core.study import table1_rows
+from repro.core.registry import get
+from repro.core.study import table1_rows_for
 
-from benchmarks.common import (
-    comparison_table,
-    grid_runner,
-    run_once,
-    scale,
-    scaled_duration,
-)
-
-#: Representative rows (full 12-row access sweep at REPRO_SCALE >= 4).
-ACCESS_ROWS = [("short-few", "down"), ("short-many", "down"),
-               ("long-few", "bidir"), ("long-many", "down"),
-               ("short-few", "up")]
-BACKBONE_ROWS = ["short-low", "short-medium", "short-high"]
+from benchmarks.common import comparison_table, grid_runner, run_once
 
 
 def test_table1_access(benchmark):
-    duration = scaled_duration(20.0, minimum=10.0)
-    rows = ACCESS_ROWS
-    if scale() >= 4:
-        rows = None  # table1_rows' default: the full 12-row sweep
+    spec = get("table1-access")
 
     def run():
-        return {(row["workload"], row["direction"]): row
-                for row in table1_rows("access", warmup=6.0,
-                                       duration=duration, seed=1,
-                                       workloads=rows,
-                                       runner=grid_runner())}
+        results = spec.run(runner=grid_runner())
+        rows = table1_rows_for(spec.scenario_axis(), list(results.values()))
+        return {(row["workload"], row["direction"]): row for row in rows}
 
     reports = run_once(benchmark, run)
     table = []
@@ -49,17 +38,12 @@ def test_table1_access(benchmark):
 
 
 def test_table1_backbone(benchmark):
-    duration = scaled_duration(15.0, minimum=8.0)
-    rows = list(BACKBONE_ROWS)
-    if scale() >= 2:
-        rows += ["short-overload", "long"]
+    spec = get("table1-backbone")
 
     def run():
-        return {row["workload"]: row
-                for row in table1_rows("backbone", warmup=5.0,
-                                       duration=duration, seed=1,
-                                       workloads=rows,
-                                       runner=grid_runner())}
+        results = spec.run(runner=grid_runner())
+        rows = table1_rows_for(spec.scenario_axis(), list(results.values()))
+        return {row["workload"]: row for row in rows}
 
     reports = run_once(benchmark, run)
     table = []

@@ -2,8 +2,15 @@
 
 Every benchmark regenerates one of the paper's tables or figures at a
 reduced scale and prints measured values next to the paper's reported
-ones.  ``REPRO_SCALE`` (float, default 1.0) multiplies simulated
-durations / repetition counts; raise it for higher-fidelity runs::
+ones.  The grids themselves are declared once in the sweep registry
+(:mod:`repro.core.registry`): each figure benchmark looks up its
+registered :class:`repro.core.registry.SweepSpec` and runs it, so the
+benchmark, ``python -m repro run <name>`` and any other consumer execute
+the *same cells* (bit-identical task hashes, shared result cache).
+
+``REPRO_SCALE`` (float, default 1.0) multiplies simulated durations /
+repetition counts and switches the specs' reduced axes to the full paper
+grids; raise it for higher-fidelity runs::
 
     REPRO_SCALE=4 pytest benchmarks/ --benchmark-only -s
 
@@ -14,17 +21,13 @@ the simulations entirely.  Set ``REPRO_CACHE=0`` to force recomputation
 and ``REPRO_PROGRESS=1`` for per-cell progress/ETA lines.
 """
 
-import os
-
+from repro.core.registry import resolve_scale
 from repro.runner import GridRunner
 
 
 def scale():
-    """Global fidelity knob."""
-    try:
-        return float(os.environ.get("REPRO_SCALE", "1.0"))
-    except ValueError:
-        return 1.0
+    """Global fidelity knob (``REPRO_SCALE``, float, default 1.0)."""
+    return resolve_scale()
 
 
 def grid_runner(**kwargs):

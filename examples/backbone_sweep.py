@@ -13,17 +13,26 @@ from repro.core.scenarios import backbone_scenario
 from repro.core.voip_study import median_mos, run_voip_cell
 from repro.core.web_study import run_web_cell
 
-BUFFERS = (8, 749, 7490)  # ~TinyBuf / BDP / 10x BDP
-WORKLOADS = ("noBG", "short-medium", "long")
 
-print("%-14s %-6s %-10s %-12s" % ("workload", "buf", "VoIP MOS", "web PLT"))
-for workload in WORKLOADS:
-    scenario = backbone_scenario(workload)
-    for packets in BUFFERS:
-        voip = run_voip_cell(scenario, packets, calls=1, warmup=10.0,
-                             duration=5.0, seed=3, directions=("listens",))
-        web = run_web_cell(scenario, packets, fetches=3, warmup=10.0, seed=5)
-        print("%-14s %-6d %-10.1f %6.2f s (MOS %.1f)"
-              % (workload, packets, median_mos(voip["listens"]),
-                 web["median_plt"], web["mos"]))
-    print()
+def main(workloads=("noBG", "short-medium", "long"),
+         buffers=(8, 749, 7490),  # ~TinyBuf / BDP / 10x BDP
+         warmup=10.0, voip_duration=5.0, fetches=3):
+    """Score VoIP and web per (workload, buffer); times in seconds."""
+    print("%-14s %-6s %-10s %-12s" % ("workload", "buf", "VoIP MOS",
+                                      "web PLT"))
+    for workload in workloads:
+        scenario = backbone_scenario(workload)
+        for packets in buffers:
+            voip = run_voip_cell(scenario, packets, calls=1, warmup=warmup,
+                                 duration=voip_duration, seed=3,
+                                 directions=("listens",))
+            web = run_web_cell(scenario, packets, fetches=fetches,
+                               warmup=warmup, seed=5)
+            print("%-14s %-6d %-10.1f %6.2f s (MOS %.1f)"
+                  % (workload, packets, median_mos(voip["listens"]),
+                     web["median_plt"], web["mos"]))
+        print()
+
+
+if __name__ == "__main__":
+    main()

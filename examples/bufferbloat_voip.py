@@ -5,18 +5,27 @@ prints the two heatmap halves ("user talks" / "user listens"), showing
 the paper's key asymmetry: the uplink queue delays *both* directions of
 the conversation through the delay impairment z2.
 
+The grid runs through the parallel cached runner; the full registered
+version of this sweep is ``python -m repro run fig7b``.
+
 Run:  python examples/bufferbloat_voip.py
 """
 
 from repro.core.voip_study import fig7_grid, render_fig7
 
-BUFFERS = (8, 32, 64, 256)
-WORKLOADS = ("noBG", "long-few", "long-many")
 
-results = fig7_grid("up", BUFFERS, workloads=WORKLOADS, calls=1,
-                    warmup=10.0, duration=6.0, seed=3)
-print(render_fig7(results, "up", BUFFERS, workloads=WORKLOADS))
-print()
-print("Markers: + fine   o degraded   ! bad (Figure 6a bands)")
-print("Compare with the paper's Figure 7b: talks collapses to ~1.0 at")
-print(">= 64 packets; listens loses 1.5-2 MOS points from delay alone.")
+def main(buffers=(8, 32, 64, 256), workloads=("noBG", "long-few", "long-many"),
+         warmup=10.0, duration=6.0, runner=None):
+    """Render the miniature Figure 7b; times in simulated seconds."""
+    results = fig7_grid("up", buffers, workloads=workloads, calls=1,
+                        warmup=warmup, duration=duration, seed=3,
+                        runner=runner)
+    print(render_fig7(results, "up", buffers, workloads=workloads))
+    print()
+    print("Markers: + fine   o degraded   ! bad (Figure 6a bands)")
+    print("Compare with the paper's Figure 7b: talks collapses to ~1.0 at")
+    print(">= 64 packets; listens loses 1.5-2 MOS points from delay alone.")
+
+
+if __name__ == "__main__":
+    main()

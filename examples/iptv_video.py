@@ -11,14 +11,25 @@ Run:  python examples/iptv_video.py
 from repro.core.scenarios import access_scenario
 from repro.core.video_study import run_video_cell
 
-print("%-12s %-4s %-6s %-6s %-6s %-9s" %
-      ("workload", "res", "buf", "SSIM", "MOS", "pkt loss"))
-for workload in ("noBG", "short-few", "long-few", "long-many"):
-    scenario = access_scenario(workload, "down")
-    for resolution in ("SD", "HD"):
-        for packets in (8, 256):
-            cell = run_video_cell(scenario, packets, resolution=resolution,
-                                  duration=6.0, warmup=6.0, seed=4)
-            print("%-12s %-4s %-6d %-6.2f %-6.1f %-9.3f" %
-                  (workload, resolution, packets, cell["ssim"],
-                   cell["mos"], cell["packet_loss"]))
+
+def main(workloads=("noBG", "short-few", "long-few", "long-many"),
+         resolutions=("SD", "HD"), buffers=(8, 256), duration=6.0,
+         warmup=6.0):
+    """Print one SSIM/MOS row per cell; times in simulated seconds."""
+    print("%-12s %-4s %-6s %-6s %-6s %-9s" %
+          ("workload", "res", "buf", "SSIM", "MOS", "pkt loss"))
+    for workload in workloads:
+        scenario = access_scenario(workload, "down")
+        for resolution in resolutions:
+            for packets in buffers:
+                cell = run_video_cell(scenario, packets,
+                                      resolution=resolution,
+                                      duration=duration, warmup=warmup,
+                                      seed=4)
+                print("%-12s %-4s %-6d %-6.2f %-6.1f %-9.3f" %
+                      (workload, resolution, packets, cell["ssim"],
+                       cell["mos"], cell["packet_loss"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,20 +11,27 @@ from repro.core.scenarios import access_scenario
 from repro.core.voip_study import median_mos, run_voip_cell
 from repro.qoe.scales import voip_mos_class
 
-scenario = access_scenario("long-many", "up")  # 8 uploading long flows
 
-for packets in (8, 256):
-    scores = run_voip_cell(scenario, packets, calls=1, warmup=10.0,
-                           duration=6.0, seed=1)
-    talks = median_mos(scores["talks"])
-    listens = median_mos(scores["listens"])
-    sample = scores["talks"][0]
-    print("uplink buffer %3d pkts: user talks MOS %.1f (%s), "
-          "listens MOS %.1f | m2e delay %.0f ms, frame loss %.0f%%"
-          % (packets, talks, voip_mos_class(talks), listens,
-             sample.mouth_to_ear_delay * 1000,
-             sample.effective_loss * 100))
+def main(buffers=(8, 256), warmup=10.0, duration=6.0):
+    """Score one call per uplink buffer size (packets); times in seconds."""
+    scenario = access_scenario("long-many", "up")  # 8 uploading long flows
 
-print()
-print("The workload, not the buffer, ruins the call -- but the bloated")
-print("buffer turns 'bad' into 'unusable' by adding seconds of delay.")
+    for packets in buffers:
+        scores = run_voip_cell(scenario, packets, calls=1, warmup=warmup,
+                               duration=duration, seed=1)
+        talks = median_mos(scores["talks"])
+        listens = median_mos(scores["listens"])
+        sample = scores["talks"][0]
+        print("uplink buffer %3d pkts: user talks MOS %.1f (%s), "
+              "listens MOS %.1f | m2e delay %.0f ms, frame loss %.0f%%"
+              % (packets, talks, voip_mos_class(talks), listens,
+                 sample.mouth_to_ear_delay * 1000,
+                 sample.effective_loss * 100))
+
+    print()
+    print("The workload, not the buffer, ruins the call -- but the bloated")
+    print("buffer turns 'bad' into 'unusable' by adding seconds of delay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,12 +19,20 @@ CASES = (
     ("long-few", "up", "upload congestion (bufferbloat)"),
 )
 
-for workload, activity, label in CASES:
-    scenario = access_scenario(workload, activity)
-    print("%s — %s" % (scenario, label))
-    for packets in (8, 64, 256):
-        cell = run_web_cell(scenario, packets, fetches=5, warmup=8.0, seed=5)
-        print("  buffer %3d pkts: median PLT %5.2f s -> MOS %.1f (%s)"
-              % (packets, cell["median_plt"], cell["mos"],
-                 mos_class(cell["mos"])))
-    print()
+
+def main(cases=CASES, buffers=(8, 64, 256), fetches=5, warmup=8.0):
+    """Print PLT/MOS per (case, buffer); warmup in simulated seconds."""
+    for workload, activity, label in cases:
+        scenario = access_scenario(workload, activity)
+        print("%s — %s" % (scenario, label))
+        for packets in buffers:
+            cell = run_web_cell(scenario, packets, fetches=fetches,
+                                warmup=warmup, seed=5)
+            print("  buffer %3d pkts: median PLT %5.2f s -> MOS %.1f (%s)"
+                  % (packets, cell["median_plt"], cell["mos"],
+                     mos_class(cell["mos"])))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -11,10 +11,17 @@ Run:  python examples/wild_cdn_analysis.py
 from repro.wild import analyze, generate_dataset
 from repro.wild.analysis import render_fig1
 
-dataset = generate_dataset(n_flows=200_000, seed=7)
-analysis = analyze(dataset)
-print(render_fig1(analysis))
-print()
-print("Conclusion (as in the paper): excessive queueing delays do occur,")
-print("but only for a small fraction of flows and hosts -- the magnitude")
-print("of bufferbloat in the wild is modest.")
+
+def main(n_flows=200_000, seed=7):
+    """Generate ``n_flows`` synthetic flows, analyze and render Fig. 1."""
+    dataset = generate_dataset(n_flows=n_flows, seed=seed)
+    analysis = analyze(dataset)
+    print(render_fig1(analysis))
+    print()
+    print("Conclusion (as in the paper): excessive queueing delays do occur,")
+    print("but only for a small fraction of flows and hosts -- the magnitude")
+    print("of bufferbloat in the wild is modest.")
+
+
+if __name__ == "__main__":
+    main()

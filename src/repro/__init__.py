@@ -9,7 +9,10 @@ testbeds (:mod:`repro.sim`), a from-scratch TCP with Reno/BIC/CUBIC
 signal-level media pipelines (:mod:`repro.media`), standardized QoE
 models (:mod:`repro.qoe`), the Section-3 CDN analysis (:mod:`repro.wild`)
 and the sensitivity-study grids that regenerate every table and figure
-(:mod:`repro.core`).
+(:mod:`repro.core`), declared once in a scenario registry
+(:mod:`repro.core.registry`) and executed by a parallel cached grid
+runner (:mod:`repro.runner`).  ``python -m repro list/describe/run/
+figures`` exposes the registered sweeps on the command line.
 
 Quickstart::
 

@@ -1,0 +1,397 @@
+"""``python -m repro`` — command-line front end for the sweep registry.
+
+Subcommands
+-----------
+``list``
+    Catalog of registered sweeps (name, kind, provenance, cell count).
+``describe NAME``
+    Full scale-resolved description of one sweep; ``--hashes`` also
+    prints each cell's content hash (the result-cache key input).
+``run NAME``
+    Execute a sweep through :class:`repro.runner.grid.GridRunner` and
+    print one summary line per cell.  ``--workers/--no-cache/--progress``
+    map to the runner knobs; ``--workloads/--buffers/--discipline/
+    --duration/--warmup/--seed`` override the spec's axes for ad-hoc
+    runs (overridden runs use different cache keys than the registered
+    grid, by design).
+``figures``
+    Regenerate the paper's ASCII figures/tables from their registered
+    sweeps (all of them, or the names given).
+
+Exit status is 0 on success, 2 on bad arguments (argparse), 1 on
+runtime failure.
+"""
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, is_dataclass, replace
+
+from repro.core import registry
+from repro.core.registry import REGISTRY, resolve_scale
+from repro.runner import GridRunner
+from repro.runner.task import DISCIPLINES
+
+
+# ---------------------------------------------------------------------------
+# Helpers.
+# ---------------------------------------------------------------------------
+def _parse_buffer(text):
+    """Parse one buffer-size token: ``"64"`` or per-direction ``"64:8"``."""
+    try:
+        if ":" in text:
+            down, up = text.split(":", 1)
+            return (int(down), int(up))
+        return int(text)
+    except ValueError:
+        raise SystemExit("invalid buffer size %r (want a packet count "
+                         "like 64, or DOWN:UP like 64:8)" % (text,))
+
+
+def _parse_csv(text, parse=lambda token: token):
+    return tuple(parse(token.strip()) for token in text.split(",")
+                 if token.strip())
+
+
+def _apply_overrides(spec, args, scale):
+    """Resolve the spec's axes at ``scale`` and apply CLI overrides."""
+    scenarios = spec.scenario_axis(scale)
+    buffers = spec.buffer_axis(scale)
+    if getattr(args, "workloads", None):
+        wanted = _parse_csv(args.workloads)
+        unknown = set(wanted) - {s.key for s in scenarios}
+        if unknown:
+            raise SystemExit("unknown workload label(s) %s (have: %s)" % (
+                ", ".join(sorted(unknown)),
+                ", ".join(s.key for s in scenarios)))
+        scenarios = tuple(s for s in scenarios if s.key in wanted)
+    if getattr(args, "buffers", None):
+        buffers = _parse_csv(args.buffers, _parse_buffer)
+    changes = {"scenarios": scenarios, "scenarios_small": None,
+               "buffers": buffers, "buffers_small": None}
+    if getattr(args, "duration", None) is not None:
+        # A literal window at any scale: the floor alone carries the
+        # value, so resolved_duration == args.duration even under
+        # REPRO_SCALE > 1.
+        changes["duration"] = 0.0
+        changes["duration_min"] = args.duration
+    if getattr(args, "warmup", None) is not None:
+        changes["warmup"] = args.warmup
+    if getattr(args, "seed", None) is not None:
+        changes["seed"] = args.seed
+    if getattr(args, "discipline", None):
+        disciplines = _parse_csv(args.discipline)
+        unknown = set(disciplines) - set(DISCIPLINES)
+        if unknown:
+            raise SystemExit("unknown discipline(s) %s (have: %s)" % (
+                ", ".join(sorted(unknown)), ", ".join(DISCIPLINES)))
+        changes["disciplines"] = disciplines
+    return replace(spec, **changes)
+
+
+def _runner_from(args):
+    return GridRunner(workers=getattr(args, "workers", None),
+                      use_cache=not getattr(args, "no_cache", False),
+                      progress=True if getattr(args, "progress", False)
+                      else None)
+
+
+def _key_str(key):
+    return "/".join(str(part) for part in key)
+
+
+def _summary(kind, payload):
+    """One-line human summary of a cell result."""
+    if kind == "qos":
+        return ("down util %5.1f%%  up util %5.1f%%  loss %5.2f%%/%5.2f%%  "
+                "mean delay %4.0f/%4.0f ms" % (
+                    payload.down_utilization * 100,
+                    payload.up_utilization * 100,
+                    payload.down_loss * 100, payload.up_loss * 100,
+                    payload.down_mean_delay * 1000,
+                    payload.up_mean_delay * 1000))
+    if kind == "voip":
+        parts = ["%s MOS %.1f" % (direction, mos)
+                 for direction, mos in sorted(payload.items())
+                 if isinstance(mos, float)]
+        parts += ["m2e %s %.0f ms" % (direction, delay * 1000)
+                  for direction, delay in sorted(
+                      payload.get("delay", {}).items())]
+        return "  ".join(parts)
+    if kind == "video":
+        return "SSIM %.2f  MOS %.1f  pkt loss %.1f%%" % (
+            payload["ssim"], payload["mos"], payload["packet_loss"] * 100)
+    if kind == "web":
+        return "median PLT %.2f s  MOS %.1f" % (
+            payload["median_plt"], payload["mos"])
+    return str(payload)
+
+
+def _jsonable_result(payload):
+    if is_dataclass(payload):
+        return asdict(payload)
+    return payload
+
+
+def _get_spec(name):
+    try:
+        return registry.get(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+def cmd_list(args):
+    scale = resolve_scale() if args.scale is None else args.scale
+    specs = list(REGISTRY.values())
+    if args.json:
+        print(json.dumps([spec.describe(scale) for spec in specs], indent=2))
+        return 0
+    rows = [("name", "kind", "provenance", "cells", "title")]
+    for spec in specs:
+        rows.append((spec.name, spec.kind, spec.provenance,
+                     str(spec.cell_count(scale)), spec.title))
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    for index, row in enumerate(rows):
+        print("  ".join(col.ljust(widths[i]) for i, col in enumerate(row[:4]))
+              + "  " + row[4])
+        if index == 0:
+            print("-" * (sum(widths) + 8 + len(rows[0][4])))
+    print()
+    print("%d sweeps (%d paper, %d extension) at REPRO_SCALE=%g" % (
+        len(specs), len(registry.paper_sweeps()),
+        len(registry.extension_sweeps()), scale))
+    return 0
+
+
+def cmd_describe(args):
+    spec = _get_spec(args.name)
+    scale = resolve_scale() if args.scale is None else args.scale
+    description = spec.describe(scale)
+    if args.hashes:
+        description["cell_hashes"] = {
+            _key_str(key): task.content_hash()
+            for key, task in zip(spec.cells(scale), spec.tasks(scale))}
+    if args.json:
+        print(json.dumps(description, indent=2))
+        return 0
+    for field_name in ("name", "kind", "title", "provenance", "description"):
+        print("%-12s %s" % (field_name + ":", description[field_name]))
+    print("%-12s %s" % ("spec:", json.dumps(spec.to_json())))
+    print("%-12s scale=%g -> %d cells, duration %.1f s, warmup %.1f s, "
+          "seed %d" % ("resolved:", scale, description["cells"],
+                       description["duration_s"], description["warmup_s"],
+                       description["seed"]))
+    print("%-12s %s" % ("workloads:", ", ".join(description["workloads"])))
+    print("%-12s %s" % ("buffers:", ", ".join(
+        str(b) for b in description["buffers"])))
+    if len(description["disciplines"]) > 1:
+        print("%-12s %s" % ("disciplines:",
+                            ", ".join(description["disciplines"])))
+    for param, values in description["axes"]:
+        print("%-12s %s = %s" % ("axis:", param, ", ".join(map(str, values))))
+    if description["counts"]:
+        print("%-12s %s" % ("counts:", description["counts"]))
+    if args.hashes:
+        print("cell hashes:")
+        for key, digest in description["cell_hashes"].items():
+            print("  %-40s %s" % (key, digest))
+    return 0
+
+
+def cmd_run(args):
+    spec = _get_spec(args.name)
+    scale = resolve_scale() if args.scale is None else args.scale
+    spec = _apply_overrides(spec, args, scale)
+    runner = _runner_from(args)
+    results = spec.run(runner=runner, scale=scale)
+    if args.json:
+        print(json.dumps({_key_str(key): _jsonable_result(payload)
+                          for key, payload in results.items()}, indent=2))
+    else:
+        print("%s — %s (%d cells)" % (spec.name, spec.title, len(results)))
+        for key, payload in results.items():
+            print("  %-40s %s" % (_key_str(key), _summary(spec.kind, payload)))
+    stats = runner.last_stats
+    print("[%d cells: %d cached, %d computed, %.1f s on %d worker%s]"
+          % (stats["cells"], stats["cached"], stats["computed"],
+             stats["elapsed"], stats["workers"],
+             "" if stats["workers"] == 1 else "s"),
+          file=sys.stderr)
+    return 0
+
+
+# Figure renderers: name -> function(results, spec, scale) -> text.
+def _render_fig4(direction):
+    def render(results, spec, scale):
+        from repro.core.study import render_fig4
+
+        return render_fig4(results, direction,
+                           buffers=spec.buffer_axis(scale),
+                           workloads=spec.workloads(scale))
+    return render
+
+
+def _render_fig5(results, spec, scale):
+    from repro.core.study import render_fig5
+
+    by_packets = {key[1]: report for key, report in results.items()}
+    return render_fig5(by_packets)
+
+
+def _render_table1(testbed):
+    def render(results, spec, scale):
+        from repro.core.study import render_table1, table1_rows_for
+
+        rows = table1_rows_for(spec.scenario_axis(scale),
+                               list(results.values()))
+        return render_table1(rows, testbed)
+    return render
+
+
+def _render_fig7(activity):
+    def render(results, spec, scale):
+        from repro.core.voip_study import render_fig7
+
+        return render_fig7(results, activity, spec.buffer_axis(scale),
+                           workloads=spec.workloads(scale))
+    return render
+
+
+def _render_fig8(results, spec, scale):
+    from repro.core.voip_study import render_fig8
+
+    return render_fig8(results, spec.buffer_axis(scale),
+                       workloads=spec.workloads(scale))
+
+
+def _render_fig9(testbed):
+    def render(results, spec, scale):
+        from repro.core.video_study import render_fig9
+
+        return render_fig9(results, testbed, spec.buffer_axis(scale),
+                           workloads=spec.workloads(scale))
+    return render
+
+
+def _render_fig10(activity, title="Figure 10"):
+    def render(results, spec, scale):
+        from repro.core.web_study import render_fig10
+
+        return render_fig10(results, activity, spec.buffer_axis(scale),
+                            workloads=spec.workloads(scale), title=title)
+    return render
+
+
+FIGURES = {
+    "fig4-up": _render_fig4("up"),
+    "fig4-down": _render_fig4("down"),
+    "fig5": _render_fig5,
+    "table1-access": _render_table1("access"),
+    "table1-backbone": _render_table1("backbone"),
+    "fig7a": _render_fig7("down"),
+    "fig7b": _render_fig7("up"),
+    "fig8": _render_fig8,
+    "fig9a": _render_fig9("access"),
+    "fig9b": _render_fig9("backbone"),
+    "fig10a": _render_fig10("down"),
+    "fig10b": _render_fig10("up"),
+    "fig11": _render_fig10("backbone", title="Figure 11"),
+}
+
+
+def cmd_figures(args):
+    names = args.names or list(FIGURES) + ["table2"]
+    scale = resolve_scale() if args.scale is None else args.scale
+    runner = _runner_from(args)
+    for name in names:
+        if name == "table2":
+            from repro.core.study import render_table2
+
+            print(render_table2())
+            print()
+            continue
+        if name not in FIGURES:
+            raise SystemExit("no renderer for %r (have: %s)" % (
+                name, ", ".join(sorted(FIGURES) + ["table2"])))
+        spec = _get_spec(name)
+        results = spec.run(runner=runner, scale=scale)
+        print(FIGURES[name](results, spec, scale))
+        print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing.
+# ---------------------------------------------------------------------------
+def _add_runner_arguments(parser):
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: REPRO_WORKERS or "
+                             "all cores; 1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="per-cell progress/ETA lines on stderr")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="fidelity multiplier (default: REPRO_SCALE)")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's experiment grids (and extensions) "
+                    "from the declarative sweep registry.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="catalog of registered sweeps")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    list_parser.add_argument("--scale", type=float, default=None)
+    list_parser.set_defaults(fn=cmd_list)
+
+    describe = sub.add_parser(
+        "describe", help="show one sweep's full scale-resolved spec")
+    describe.add_argument("name")
+    describe.add_argument("--json", action="store_true")
+    describe.add_argument("--hashes", action="store_true",
+                          help="also print each cell's content hash")
+    describe.add_argument("--scale", type=float, default=None)
+    describe.set_defaults(fn=cmd_describe)
+
+    run = sub.add_parser("run", help="execute a sweep through the grid "
+                                     "runner and print per-cell summaries")
+    run.add_argument("name")
+    _add_runner_arguments(run)
+    run.add_argument("--workloads", help="comma-separated workload labels "
+                                         "(subset of the sweep's axis)")
+    run.add_argument("--buffers", help="comma-separated buffer sizes in "
+                                       "packets; DOWN:UP pairs allowed")
+    run.add_argument("--discipline", help="comma-separated queue "
+                                          "disciplines (droptail/red/codel)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="measurement window override, simulated seconds")
+    run.add_argument("--warmup", type=float, default=None,
+                     help="warm-up override, simulated seconds")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--json", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's ASCII figures/tables")
+    figures.add_argument("names", nargs="*",
+                         help="figure sweeps to render (default: all)")
+    _add_runner_arguments(figures)
+    figures.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,10 +39,13 @@ def build_network(scenario, buffer_packets, sim=None, queue_factory=None):
             down_buffer_packets=down_packets,
             up_buffer_packets=up_packets,
             queue_factory=queue_factory,
+            down_loss=scenario.down_loss,
+            up_loss=scenario.up_loss,
         )
     elif scenario.testbed == "backbone":
         network = BackboneNetwork(
-            sim, buffer_packets=down_packets, queue_factory=queue_factory)
+            sim, buffer_packets=down_packets, queue_factory=queue_factory,
+            down_loss=scenario.down_loss, up_loss=scenario.up_loss)
     else:
         raise ValueError("unknown testbed %r" % (scenario.testbed,))
     return sim, network

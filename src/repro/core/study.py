@@ -1,24 +1,24 @@
 """Grid sweeps for the QoS part of the study (Figures 4-5, Tables 1-2).
 
-Each function declares one paper artifact's experiment grid as
-:class:`repro.runner.task.CellTask` cells and routes them through a
+Each function declares one paper artifact's experiment grid through the
+sweep registry (:mod:`repro.core.registry`) and routes it through a
 :class:`repro.runner.grid.GridRunner` (parallel, cached); rendering
 helpers turn the results into the ASCII equivalents of the paper's
 figures.  Pass ``runner=`` to control workers/caching; the default
 runner reads the ``REPRO_WORKERS`` / ``REPRO_CACHE`` env knobs.
-"""
 
-import os
+Units: ``warmup`` and ``duration`` are simulated seconds; buffer sizes
+are packets; utilizations and loss rates are fractions in ``[0, 1]``;
+queueing delays are seconds.
+"""
 
 from repro.core.buffers import (
     ACCESS_BUFFERS,
-    BACKBONE_BUFFERS,
     access_buffer_delays,
     backbone_buffer_delays,
 )
-from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.registry import ScenarioSpec, adhoc_sweep, resolve_scale
 from repro.qoe.scales import heat_marker_from_delay
-from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid, render_table
 
 #: Workload rows of Figure 4 (y axis order as in the paper).
@@ -27,10 +27,12 @@ FIG4_WORKLOADS = ("long-few", "long-many", "short-few", "short-many")
 
 def scale_factor(default=1.0):
     """Read the global experiment scale knob (``REPRO_SCALE`` env var)."""
-    try:
-        return float(os.environ.get("REPRO_SCALE", default))
-    except ValueError:
-        return default
+    return resolve_scale(default)
+
+
+def buffer_sizes(buffers):
+    """Normalize a buffer axis: `BufferConfig`s or plain packet counts."""
+    return [getattr(config, "packets", config) for config in buffers]
 
 
 def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
@@ -38,18 +40,15 @@ def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
     """Figure 4: mean queueing delay per (workload, buffer size).
 
     ``direction`` is the congestion direction: ``"down"``, ``"bidir"``
-    or ``"up"`` (the paper's three heatmaps).  Returns
-    ``{(workload, packets): QosReport}``.
+    or ``"up"`` (the paper's three heatmaps); ``warmup``/``duration``
+    are simulated seconds.  Returns ``{(workload, packets): QosReport}``.
     """
-    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
-    cells = [(workload, packets)
-             for workload in workloads for packets in sizes]
-    tasks = [CellTask.make("qos", access_scenario(workload, direction),
-                           packets, seed=seed, warmup=warmup,
-                           duration=duration)
-             for workload, packets in cells]
-    reports = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, reports))
+    spec = adhoc_sweep(
+        "adhoc-fig4", "qos",
+        scenarios=[ScenarioSpec("access", w, direction) for w in workloads],
+        buffers=buffer_sizes(buffers or ACCESS_BUFFERS),
+        seed=seed, warmup=warmup, duration=duration)
+    return spec.run(runner=runner, scale=1.0)
 
 
 def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
@@ -58,7 +57,7 @@ def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
     Cells show the mean queueing delay in ms with a G.114 marker
     (``+`` acceptable, ``o`` problematic, ``!`` bad).
     """
-    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
+    sizes = buffer_sizes(buffers or ACCESS_BUFFERS)
 
     def cell(side):
         def fn(workload, packets):
@@ -85,17 +84,17 @@ def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0,
     Returns ``{packets: QosReport}`` (reports carry the per-second
     samples for the boxplots).
     """
-    sizes = [b.packets for b in (buffers or ACCESS_BUFFERS)]
-    scenario = access_scenario("long-many", "bidir")
-    tasks = [CellTask.make("qos", scenario, packets, seed=seed,
-                           warmup=warmup, duration=duration)
-             for packets in sizes]
-    reports = (runner or GridRunner()).run(tasks)
-    return dict(zip(sizes, reports))
+    spec = adhoc_sweep(
+        "adhoc-fig5", "qos",
+        scenarios=[ScenarioSpec("access", "long-many", "bidir")],
+        buffers=buffer_sizes(buffers or ACCESS_BUFFERS),
+        seed=seed, warmup=warmup, duration=duration)
+    results = spec.run(runner=runner, scale=1.0)
+    return {packets: report for (__, packets), report in results.items()}
 
 
 def render_fig5(results):
-    """ASCII boxplot table of Figure 5."""
+    """ASCII boxplot table of Figure 5 (``{packets: QosReport}``)."""
     rows = []
     for packets in sorted(results):
         report = results[packets]
@@ -112,37 +111,38 @@ def render_fig5(results):
         ("buffer", "link", "min", "q1", "median", "q3", "max"), rows)
 
 
-def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
-                include_overload=True, workloads=None, runner=None):
-    """Measure Table 1's utilization/loss columns at BDP buffers.
+def table1_specs(testbed, include_overload=True, workloads=None):
+    """The :class:`ScenarioSpec` rows of one Table 1 half.
 
-    Returns a list of dicts, one per (workload, direction) row.
     ``workloads`` optionally restricts the sweep: a list of
     ``(name, direction)`` pairs for the access testbed, or a list of
     names for the backbone.
     """
-    rows = []
     if testbed == "access":
         if workloads is None:
             workloads = [(name, direction)
                          for name in ("short-few", "short-many",
                                       "long-few", "long-many")
                          for direction in ("up", "bidir", "down")]
-        specs = [access_scenario(name, direction)
-                 for name, direction in workloads]
-        buffer_packets = (64, 8)  # per-direction BDP, as in the paper
-    else:
-        if workloads is None:
-            workloads = ["short-low", "short-medium", "short-high", "long"]
-            if include_overload:
-                workloads.insert(3, "short-overload")
-        specs = [backbone_scenario(name) for name in workloads]
-        buffer_packets = 749
-    tasks = [CellTask.make("qos", scenario, buffer_packets, seed=seed,
-                           warmup=warmup, duration=duration)
-             for scenario in specs]
-    reports = (runner or GridRunner()).run(tasks)
-    for scenario, report in zip(specs, reports):
+        return [ScenarioSpec("access", name, direction,
+                             label="%s/%s" % (name, direction))
+                for name, direction in workloads]
+    if workloads is None:
+        workloads = ["short-low", "short-medium", "short-high", "long"]
+        if include_overload:
+            workloads.insert(3, "short-overload")
+    return [ScenarioSpec("backbone", name) for name in workloads]
+
+
+def table1_rows_for(specs, reports):
+    """Assemble Table 1 row dicts from scenario specs and their reports.
+
+    ``specs``/``reports`` are aligned lists (one :class:`QosReport` per
+    :class:`ScenarioSpec`); utilizations and losses are fractions.
+    """
+    rows = []
+    for scenario_spec, report in zip(specs, reports):
+        scenario = scenario_spec.build()
         rows.append({
             "workload": scenario.name,
             "direction": scenario.direction,
@@ -155,6 +155,26 @@ def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
             "concurrent": report.concurrent_flows,
         })
     return rows
+
+
+def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
+                include_overload=True, workloads=None, runner=None):
+    """Measure Table 1's utilization/loss columns at BDP buffers.
+
+    Returns a list of dicts, one per (workload, direction) row; see
+    :func:`table1_specs` for the ``workloads`` format.  ``warmup`` and
+    ``duration`` are simulated seconds.
+    """
+    specs = table1_specs(testbed, include_overload=include_overload,
+                         workloads=workloads)
+    # Per-direction BDP buffers, as in the paper: (64 down, 8 up) on the
+    # access testbed, 749 packets on the backbone.
+    buffer_packets = (64, 8) if testbed == "access" else 749
+    sweep = adhoc_sweep("adhoc-table1-%s" % testbed, "qos",
+                        scenarios=specs, buffers=[buffer_packets],
+                        seed=seed, warmup=warmup, duration=duration)
+    results = sweep.run(runner=runner, scale=1.0)
+    return table1_rows_for(specs, list(results.values()))
 
 
 def render_table1(rows, testbed):

@@ -4,14 +4,13 @@ import numpy as np
 
 from repro.apps.video import VideoStream, clip_frames
 from repro.core.experiment import build_network
-from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.registry import ScenarioSpec, adhoc_sweep
 from repro.core.workloads import apply_workload
 from repro.media.codec import decode
 from repro.qoe.psnr import psnr_sequence
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.ssim import ssim_sequence
 from repro.qoe.video import ssim_to_mos
-from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 FIG9A_WORKLOADS = ("noBG", "long-few", "long-many", "short-few", "short-many")
@@ -26,8 +25,10 @@ def run_video_cell(scenario, buffer_packets, resolution="SD", clip="C",
                    queue_factory=None):
     """Stream one clip through a loaded cell and score it.
 
-    Returns a dict with ``ssim``, ``psnr``, ``mos`` and ``packet_loss``.
-    IPTV flows run server -> client (the paper streams only downstream).
+    ``warmup``/``duration`` are simulated seconds.  Returns a dict with
+    ``ssim`` (in [0, 1]), ``psnr`` (dB), ``mos`` and ``packet_loss`` /
+    ``slice_loss`` (fractions).  IPTV flows run server -> client (the
+    paper streams only downstream).
     """
     sim, network = build_network(scenario, buffer_packets,
                                  queue_factory=queue_factory)
@@ -62,22 +63,13 @@ def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
     """
     if workloads is None:
         workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
-
-    def scenario_for(workload):
-        if testbed == "access":
-            return access_scenario(workload, "down")
-        return backbone_scenario(workload)
-
-    cells = [(workload, packets, resolution)
-             for workload in workloads
-             for packets in buffers
-             for resolution in resolutions]
-    tasks = [CellTask.make("video", scenario_for(workload), packets,
-                           seed=seed, warmup=warmup, duration=duration,
-                           resolution=resolution, clip=clip)
-             for workload, packets, resolution in cells]
-    results = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, results))
+    spec = adhoc_sweep(
+        "adhoc-fig9", "video",
+        scenarios=[ScenarioSpec(testbed, w, "down") for w in workloads],
+        buffers=buffers, seed=seed, warmup=warmup, duration=duration,
+        params=(("clip", clip),),
+        axes=(("resolution", tuple(resolutions)),))
+    return spec.run(runner=runner, scale=1.0)
 
 
 def render_fig9(results, testbed, buffers, workloads=None,

@@ -14,12 +14,11 @@ unidirectional audio server -> client.
 import numpy as np
 
 from repro.core.experiment import build_network
-from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.registry import ScenarioSpec, adhoc_sweep
 from repro.core.workloads import apply_workload
 from repro.apps.voip import VoipCall
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.voip import score_call
-from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 #: Figure 7 row order.
@@ -39,6 +38,8 @@ def run_voip_cell(scenario, buffer_packets, calls=2, warmup=5.0, seed=0,
                   queue_factory=None):
     """Run ``calls`` sequential calls per direction through one cell.
 
+    ``warmup`` and ``duration`` (per call) are simulated seconds;
+    ``buffer_packets`` is a packet count or ``(down, up)`` pair.
     Returns ``{direction: [VoipScore, ...]}``.
     """
     sim, network = build_network(scenario, buffer_packets,
@@ -93,30 +94,27 @@ def fig7_grid(activity, buffers, workloads=FIG7_WORKLOADS, calls=2,
 
     ``activity`` is the background congestion direction: ``"down"``
     (Figure 7a), ``"up"`` (Figure 7b) or ``"bidir"`` (discussed in
-    §7.2).  Returns ``{(workload, packets): {"talks": mos, "listens": mos}}``.
+    §7.2); ``warmup``/``duration`` are simulated seconds, ``buffers``
+    packet counts.  Returns
+    ``{(workload, packets): {"talks": mos, "listens": mos, ...}}``.
     """
-    cells = [(workload, packets)
-             for workload in workloads for packets in buffers]
-    tasks = [CellTask.make("voip", access_scenario(workload, activity),
-                           packets, seed=seed, warmup=warmup,
-                           duration=duration, calls=calls,
-                           directions=("talks", "listens"))
-             for workload, packets in cells]
-    mos = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, mos))
+    spec = adhoc_sweep(
+        "adhoc-fig7", "voip",
+        scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
+        buffers=buffers, seed=seed, warmup=warmup, duration=duration,
+        params=(("calls", calls), ("directions", ("talks", "listens"))))
+    return spec.run(runner=runner, scale=1.0)
 
 
 def fig8_grid(buffers, workloads=FIG8_WORKLOADS, calls=2, warmup=5.0,
               duration=8.0, seed=0, runner=None):
     """Figure 8: backbone VoIP MOS (unidirectional, server -> client)."""
-    cells = [(workload, packets)
-             for workload in workloads for packets in buffers]
-    tasks = [CellTask.make("voip", backbone_scenario(workload), packets,
-                           seed=seed, warmup=warmup, duration=duration,
-                           calls=calls, directions=("listens",))
-             for workload, packets in cells]
-    mos = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, mos))
+    spec = adhoc_sweep(
+        "adhoc-fig8", "voip",
+        scenarios=[ScenarioSpec("backbone", w) for w in workloads],
+        buffers=buffers, seed=seed, warmup=warmup, duration=duration,
+        params=(("calls", calls), ("directions", ("listens",))))
+    return spec.run(runner=runner, scale=1.0)
 
 
 def render_fig7(results, activity, buffers, workloads=FIG7_WORKLOADS):

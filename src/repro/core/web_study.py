@@ -4,11 +4,10 @@ import numpy as np
 
 from repro.apps.web import PageFetch, WebServer
 from repro.core.experiment import build_network
-from repro.core.scenarios import access_scenario, backbone_scenario
+from repro.core.registry import ScenarioSpec, adhoc_sweep
 from repro.core.workloads import apply_workload
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.web import g1030_mos, min_plt_for
-from repro.runner import CellTask, GridRunner
 from repro.viz.heatmap import render_grid
 
 FIG10_WORKLOADS = ("noBG", "long-few", "long-many", "short-few", "short-many")
@@ -26,9 +25,10 @@ def run_web_cell(scenario, buffer_packets, fetches=10, warmup=5.0, seed=0,
                  queue_factory=None):
     """Fetch the page repeatedly through one cell.
 
-    Returns a dict with the PLT list, median PLT and median MOS (scored
-    with the testbed's G.1030 anchor).  Fetches that exceed
-    ``FETCH_TIMEOUT`` count with that ceiling, like an impatient user.
+    ``warmup`` is simulated seconds.  Returns a dict with the PLT list
+    (seconds), median/80th-percentile PLT and median MOS (scored with
+    the testbed's G.1030 anchor).  Fetches that exceed ``FETCH_TIMEOUT``
+    count with that ceiling, like an impatient user.
     """
     sim, network = build_network(scenario, buffer_packets,
                                  queue_factory=queue_factory)
@@ -68,26 +68,23 @@ def fig10_grid(activity, buffers, workloads=FIG10_WORKLOADS, fetches=10,
 
     ``activity`` is ``"down"`` (10a), ``"up"`` (10b) or ``"bidir"``.
     """
-    cells = [(workload, packets)
-             for workload in workloads for packets in buffers]
-    tasks = [CellTask.make("web", access_scenario(workload, activity),
-                           packets, seed=seed, warmup=warmup,
-                           fetches=fetches)
-             for workload, packets in cells]
-    results = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, results))
+    spec = adhoc_sweep(
+        "adhoc-fig10", "web",
+        scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
+        buffers=buffers, seed=seed, warmup=warmup, duration=0.0,
+        params=(("fetches", fetches),))
+    return spec.run(runner=runner, scale=1.0)
 
 
 def fig11_grid(buffers, workloads=FIG11_WORKLOADS, fetches=10, warmup=5.0,
                seed=0, runner=None):
     """Figure 11: backbone WebQoE."""
-    cells = [(workload, packets)
-             for workload in workloads for packets in buffers]
-    tasks = [CellTask.make("web", backbone_scenario(workload), packets,
-                           seed=seed, warmup=warmup, fetches=fetches)
-             for workload, packets in cells]
-    results = (runner or GridRunner()).run(tasks)
-    return dict(zip(cells, results))
+    spec = adhoc_sweep(
+        "adhoc-fig11", "web",
+        scenarios=[ScenarioSpec("backbone", w) for w in workloads],
+        buffers=buffers, seed=seed, warmup=warmup, duration=0.0,
+        params=(("fetches", fetches),))
+    return spec.run(runner=runner, scale=1.0)
 
 
 def render_fig10(results, activity, buffers, workloads=FIG10_WORKLOADS,

@@ -94,7 +94,8 @@ class EModel:
         self.advantage = advantage
 
     def rating(self, one_way_delay, loss_rate=0.0):
-        """Full R factor for a delay/loss operating point."""
+        """Full R factor in [0, 100]; ``one_way_delay`` in seconds,
+        ``loss_rate`` a fraction in [0, 1]."""
         r = (self.r0
              - delay_impairment(one_way_delay)
              - loss_impairment(loss_rate, self.ie, self.bpl, self.burst_ratio)
@@ -102,6 +103,7 @@ class EModel:
         return max(0.0, min(100.0, r))
 
     def score(self, one_way_delay, loss_rate=0.0):
-        """Return ``(R, MOS)``."""
+        """Return ``(R, MOS)`` for a delay (seconds) / loss (fraction)
+        operating point."""
         r = self.rating(one_way_delay, loss_rate)
         return r, r_to_mos(r)

@@ -21,10 +21,10 @@ class VoipScore:
 
     mos: float  # final combined MOS (the heatmap value)
     z1_mos: float  # PESQ-like listening quality
-    z1_r: float  # z1 on the R scale
-    z2: float  # delay impairment on the R scale
-    mouth_to_ear_delay: float
-    effective_loss: float
+    z1_r: float  # z1 on the R scale [0, 100]
+    z2: float  # delay impairment on the R scale [0, 100]
+    mouth_to_ear_delay: float  # seconds
+    effective_loss: float  # frame-loss fraction in [0, 1]
 
     def __str__(self):
         return ("MOS %.2f (z1 %.2f MOS / %.0f R; z2 %.0f R; "

@@ -69,6 +69,8 @@ def _run_qos(task):
 
 
 def _run_voip(task):
+    import numpy as np
+
     from repro.core.voip_study import median_mos, run_voip_cell
 
     params = task.params_dict
@@ -78,8 +80,16 @@ def _run_voip(task):
         warmup=task.warmup, seed=task.seed, duration=task.duration,
         directions=directions,
         queue_factory=queue_factory_for(task.discipline))
-    return {direction: median_mos(score_list)
-            for direction, score_list in scores.items()}
+    payload = {direction: median_mos(score_list)
+               for direction, score_list in scores.items()}
+    # Median mouth-to-ear delay (seconds) per direction: the AQM and
+    # bufferbloat sweeps assert on the standing queue, not just MOS.
+    payload["delay"] = {
+        direction: (float(np.median([score.mouth_to_ear_delay
+                                     for score in score_list]))
+                    if score_list else 0.0)
+        for direction, score_list in scores.items()}
+    return payload
 
 
 def _run_video(task):

@@ -12,7 +12,8 @@ import json
 from dataclasses import asdict, dataclass
 
 #: Bump when the meaning of a cached payload changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: voip payloads carry a per-direction "delay" entry (seconds).
+CACHE_SCHEMA_VERSION = 2
 
 #: Cell kinds understood by :mod:`repro.runner.execute`.
 KINDS = ("qos", "voip", "video", "web")
@@ -37,15 +38,16 @@ class CellTask:
     ``params`` holds kind-specific keyword arguments (e.g. ``calls`` and
     ``directions`` for VoIP cells) as a sorted item tuple so the task
     stays hashable; build tasks through :meth:`make`, which accepts them
-    as plain keywords.
+    as plain keywords.  ``warmup``/``duration`` are simulated seconds;
+    ``buffer_packets`` is a packet count (or a per-direction pair).
     """
 
     kind: str
     scenario: object  # repro.core.scenarios.Scenario
-    buffer_packets: object  # int, or a (down, up) tuple
+    buffer_packets: object  # packets: int, or a (down, up) tuple
     seed: int = 0
-    warmup: float = 5.0
-    duration: float = 20.0
+    warmup: float = 5.0  # seconds (simulated) before measurement
+    duration: float = 20.0  # measurement window, seconds (simulated)
     discipline: str = "droptail"
     params: tuple = ()
 

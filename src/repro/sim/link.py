@@ -5,7 +5,24 @@ a serializer running at ``rate_bps`` and a propagation delay to the
 receiving node.  Buffers under study live in the queue attached to the
 bottleneck interfaces; all QoS measurements (utilization, loss, queueing
 delay) are taken here.
+
+An interface may additionally model a lossy channel (``loss_rate``):
+each successfully serialized packet is then dropped *on the wire* with
+that probability, independently of the queue.  This approximates a
+wireless-like access link where corruption loss is unrelated to
+congestion.  The loss process is driven by a private generator seeded
+from the interface name, so results stay bit-identical across runs and
+worker processes.
 """
+
+import hashlib
+import random
+
+
+def _stable_seed(name):
+    """Process-independent integer seed derived from an interface name."""
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()
+    return int(digest[:16], 16)
 
 
 class InterfaceStats:
@@ -50,15 +67,31 @@ class Interface:
     dst_node:
         Receiving :class:`repro.sim.node.Node` (set later via
         :meth:`connect` if not known at construction).
+    loss_rate:
+        Probability in ``[0, 1]`` that a serialized packet is lost on
+        the wire (wireless-like corruption loss); 0.0 models a clean
+        wire.  Lost packets still consume serialization time and count
+        as transmitted in the interface statistics — they vanish between
+        the sender and the receiver, as on a real radio link — and are
+        tallied in :attr:`wire_drops`.
     """
 
-    def __init__(self, sim, name, rate_bps, prop_delay, queue, dst_node=None):
+    def __init__(self, sim, name, rate_bps, prop_delay, queue, dst_node=None,
+                 loss_rate=0.0):
         self.sim = sim
         self.name = name
         self.rate_bps = float(rate_bps)
         self.prop_delay = float(prop_delay)
         self.queue = queue
         self.dst_node = dst_node
+        self.loss_rate = float(loss_rate)
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1), got %r"
+                             % (loss_rate,))
+        #: Packets lost on the wire (corruption, not queue overflow).
+        self.wire_drops = 0
+        self._loss_rng = (random.Random(_stable_seed(name))
+                         if self.loss_rate > 0.0 else None)
         self.stats = InterfaceStats()
         self._busy = False
         self._tx_started = 0.0
@@ -101,7 +134,9 @@ class Interface:
         else:
             stats.tx_bytes += packet.size
         stats.busy_time += self.sim.now - started
-        if self.dst_node is not None:
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            self.wire_drops += 1
+        elif self.dst_node is not None:
             self.sim.schedule(self.prop_delay, self.dst_node.receive, packet)
         self._start_next()
 

@@ -55,6 +55,10 @@ class DumbbellNetwork:
     queue_factory:
         Callable ``capacity_packets -> Queue`` used for the two
         bottleneck queues; defaults to drop-tail like the paper.
+    down_loss, up_loss:
+        Wire loss probability of each bottleneck direction (see
+        :class:`repro.sim.link.Interface`); 0.0 models the paper's clean
+        wired testbeds, >0 a wireless-like lossy channel.
     """
 
     def __init__(
@@ -71,6 +75,8 @@ class DumbbellNetwork:
         down_buffer_packets=64,
         up_buffer_packets=8,
         queue_factory=None,
+        down_loss=0.0,
+        up_loss=0.0,
     ):
         self.sim = sim
         if queue_factory is None:
@@ -94,6 +100,7 @@ class DumbbellNetwork:
             bottleneck_delay,
             queue_factory(down_buffer_packets),
             self.right_router,
+            loss_rate=down_loss,
         )
         self.up_bottleneck = Interface(
             sim,
@@ -102,6 +109,7 @@ class DumbbellNetwork:
             bottleneck_delay,
             queue_factory(up_buffer_packets),
             self.left_router,
+            loss_rate=up_loss,
         )
         self.left_router.set_default_route(self.down_bottleneck)
         self.right_router.set_default_route(self.up_bottleneck)
@@ -198,6 +206,8 @@ class AccessNetwork(DumbbellNetwork):
         n_servers=3,
         n_clients=3,
         queue_factory=None,
+        down_loss=0.0,
+        up_loss=0.0,
     ):
         super().__init__(
             sim,
@@ -212,6 +222,8 @@ class AccessNetwork(DumbbellNetwork):
             down_buffer_packets=down_buffer_packets,
             up_buffer_packets=up_buffer_packets,
             queue_factory=queue_factory,
+            down_loss=down_loss,
+            up_loss=up_loss,
         )
 
     @property
@@ -244,6 +256,8 @@ class BackboneNetwork(DumbbellNetwork):
         n_servers=4,
         n_clients=4,
         queue_factory=None,
+        down_loss=0.0,
+        up_loss=0.0,
     ):
         super().__init__(
             sim,
@@ -258,4 +272,6 @@ class BackboneNetwork(DumbbellNetwork):
             down_buffer_packets=buffer_packets,
             up_buffer_packets=buffer_packets,
             queue_factory=queue_factory,
+            down_loss=down_loss,
+            up_loss=up_loss,
         )

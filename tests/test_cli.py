@@ -1,0 +1,115 @@
+"""Tests for the ``python -m repro`` command line (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_buffer, build_parser, main
+from repro.core.registry import REGISTRY, get
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point every CLI run at a private cache and a single worker."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+
+
+class TestParsing:
+    def test_buffer_tokens(self):
+        assert _parse_buffer("64") == 64
+        assert _parse_buffer("64:8") == (64, 8)
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_sweep_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "fig99"])
+
+
+class TestList:
+    def test_lists_every_registered_sweep(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_json_output(self, capsys):
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in entries} == set(REGISTRY)
+        for entry in entries:
+            assert entry["cells"] > 0
+
+
+class TestDescribe:
+    def test_plain(self, capsys):
+        assert main(["describe", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "long-many" in out
+
+    def test_hashes_match_spec_tasks(self, capsys):
+        assert main(["describe", "fig5", "--json", "--hashes"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        spec = get("fig5")
+        expected = {task.content_hash() for task in spec.tasks()}
+        assert set(description["cell_hashes"].values()) == expected
+
+    def test_scale_override(self, capsys):
+        assert main(["describe", "fig7b", "--json", "--scale", "4"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert len(description["workloads"]) == 5
+
+
+class TestRun:
+    def test_tiny_override_run(self, capsys):
+        code = main(["run", "wireless-qos", "--workloads", "long-few",
+                     "--buffers", "8", "--duration", "2", "--warmup", "1",
+                     "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "long-few/8" in out
+        assert "util" in out
+
+    def test_json_run(self, capsys):
+        code = main(["run", "wireless-qos", "--workloads", "long-few",
+                     "--buffers", "8", "--duration", "2", "--warmup", "1",
+                     "--no-cache", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "long-few/8" in payload
+        assert payload["long-few/8"]["duration"] == 2.0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--workloads", "mystery"])
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--discipline", "fifo"])
+
+    def test_malformed_buffers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--buffers", "8x"])
+
+    def test_duration_override_is_literal_under_scale(self, capsys,
+                                                      monkeypatch):
+        # --duration must mean simulated seconds, not seconds*REPRO_SCALE.
+        monkeypatch.setenv("REPRO_SCALE", "4")
+        code = main(["run", "wireless-qos", "--workloads", "long-few",
+                     "--buffers", "8", "--duration", "2", "--warmup", "1",
+                     "--no-cache", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["long-few/8"]["duration"] == 2.0
+
+    def test_per_direction_buffer_override(self, capsys):
+        code = main(["run", "wireless-qos", "--workloads", "long-few",
+                     "--buffers", "16:4", "--duration", "2", "--warmup",
+                     "1", "--no-cache"])
+        assert code == 0
+        assert "long-few/(16, 4)" in capsys.readouterr().out

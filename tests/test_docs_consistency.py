@@ -1,0 +1,51 @@
+"""Docs/registry consistency: the catalog documents what the code registers."""
+
+import os
+
+from repro.core.registry import REGISTRY
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(relative_path):
+    with open(os.path.join(ROOT, relative_path), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_every_registered_sweep_is_documented():
+    catalog = read("docs/SCENARIOS.md")
+    missing = [name for name in REGISTRY if "`%s`" % name not in catalog]
+    assert not missing, ("registered sweeps missing from docs/SCENARIOS.md: "
+                         "%s" % ", ".join(missing))
+
+
+def test_catalog_documents_no_ghost_sweeps():
+    # Every name formatted like a sweep entry in the catalog table must
+    # exist in the registry (stale docs fail here after a rename).
+    catalog = read("docs/SCENARIOS.md")
+    table_lines = [line for line in catalog.splitlines()
+                   if line.startswith("| `")]
+    for line in table_lines:
+        name = line.split("`")[1]
+        assert name in REGISTRY, "docs/SCENARIOS.md mentions unknown " \
+                                 "sweep %r" % name
+
+
+def test_provenance_tags_are_documented():
+    catalog = read("docs/SCENARIOS.md")
+    for spec in REGISTRY.values():
+        assert spec.provenance in catalog, (spec.name, spec.provenance)
+
+
+def test_readme_links_the_docs():
+    readme = read("README.md")
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/SCENARIOS.md" in readme
+    assert "python -m repro" in readme
+
+
+def test_architecture_doc_covers_the_layers():
+    architecture = read("docs/ARCHITECTURE.md")
+    for module in ("repro.sim", "repro.tcp", "repro.qoe", "repro.runner",
+                   "repro.core.registry", "repro.cli"):
+        assert module in architecture, module

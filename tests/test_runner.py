@@ -215,7 +215,9 @@ class TestGridRunner:
         scores = run_voip_cell(scenario, 64, calls=1, warmup=0.5,
                                duration=2.0, seed=0,
                                directions=("listens",))
-        assert result == {"listens": median_mos(scores["listens"])}
+        assert result["listens"] == median_mos(scores["listens"])
+        assert result["delay"]["listens"] == pytest.approx(
+            scores["listens"][0].mouth_to_ear_delay)
 
 
 class TestStudyGridsThroughRunner:
