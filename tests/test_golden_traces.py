@@ -1,0 +1,191 @@
+"""Golden-trace equivalence harness for the sim core.
+
+Every registry sweep is lowered to a deterministic set of *golden cells*
+(scale-``tiny`` axes with clamped warm-up/measurement windows, so the
+whole catalog stays affordable) and each cell's JSON payload is hashed.
+The hashes live in ``tests/golden/<sweep>.json`` and were generated from
+the **pre-optimization** simulator core; any hot-path rewrite of the
+engine/link/queue/TCP layers must keep every payload bit-identical, or
+this suite fails and names the drifted cells.
+
+Scope control
+-------------
+* Default (tier-1) runs verify a deterministic sample of cells per sweep
+  (first / middle / last of each grid) to keep the suite fast.
+* ``REPRO_GOLDEN=full`` verifies **every** golden cell of every sweep —
+  this is what the CI perf-smoke job and any hot-path PR must run.
+* ``REPRO_GOLDEN_UPDATE=1`` regenerates the golden files instead of
+  asserting (also available as ``python tests/test_golden_traces.py``).
+  Only regenerate deliberately — from a core whose results you trust —
+  and say so in the commit message.
+
+Hashes are exact (no float rounding): payloads are canonical JSON
+(sorted keys, no whitespace) fed to SHA-256.  IEEE-754 arithmetic is
+deterministic, so the traces are stable across runs and worker
+processes on one platform; a different libm/numpy build may legally
+produce different ulps — regenerate on such platforms rather than
+loosening the comparison.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+try:
+    from repro.core.registry import REGISTRY
+    from repro.runner.execute import execute_task
+except ModuleNotFoundError:  # direct `python tests/test_golden_traces.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.core.registry import REGISTRY
+    from repro.runner.execute import execute_task
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SCHEMA = 1
+
+#: Scale at which registry axes are resolved for golden cells ("tiny"):
+#: small enough that every sweep uses its reduced axes and duration
+#: floors.
+GOLDEN_SCALE = 0.1
+
+#: Clamps applied on top of the tiny-scale tasks.  Golden cells need
+#: determinism and code-path coverage, not statistical fidelity, so the
+#: windows are cut far below the registry floors.
+MAX_WARMUP = 1.0  # simulated seconds
+MAX_DURATION = 1.25  # simulated seconds
+MAX_FETCHES = 2  # web cells: page fetches per cell
+
+
+def _clamp(task):
+    """Shrink one registry task to its golden-cell equivalent."""
+    changes = {
+        "warmup": min(task.warmup, MAX_WARMUP),
+        "duration": min(task.duration, MAX_DURATION),
+    }
+    params = dict(task.params)
+    if "fetches" in params:
+        params["fetches"] = min(params["fetches"], MAX_FETCHES)
+        changes["params"] = tuple(sorted(params.items()))
+    return dataclasses.replace(task, **changes)
+
+
+def golden_cells(spec):
+    """``[(cell key string, CellTask)]`` for one sweep, tiny + clamped."""
+    keys = spec.cells(GOLDEN_SCALE)
+    tasks = [_clamp(task) for task in spec.tasks(GOLDEN_SCALE)]
+    return [("/".join(str(part) for part in key), task)
+            for key, task in zip(keys, tasks)]
+
+
+def payload_hash(payload):
+    """SHA-256 of the canonical JSON encoding of a cell payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def golden_path(name):
+    return GOLDEN_DIR / ("%s.json" % name)
+
+
+def generate(names=None, verbose=True):
+    """(Re)generate the golden files; returns the number of cells run."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    if names:
+        unknown = set(names) - set(REGISTRY)
+        if unknown:
+            raise KeyError("unknown sweep(s) %s — have: %s"
+                           % (sorted(unknown), ", ".join(sorted(REGISTRY))))
+    total = 0
+    for name, spec in REGISTRY.items():
+        if names and name not in names:
+            continue
+        cells = []
+        for key, task in golden_cells(spec):
+            cells.append({
+                "key": key,
+                "task": task.content_hash(),
+                "payload": payload_hash(execute_task(task)),
+            })
+            total += 1
+        document = {
+            "schema": GOLDEN_SCHEMA,
+            "sweep": name,
+            "scale": GOLDEN_SCALE,
+            "clamp": {"warmup": MAX_WARMUP, "duration": MAX_DURATION,
+                      "fetches": MAX_FETCHES},
+            "cells": cells,
+        }
+        with open(golden_path(name), "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        if verbose:
+            print("golden: %-18s %3d cells" % (name, len(cells)))
+    return total
+
+
+def _selected(items):
+    """The deterministic per-sweep sample verified by default runs."""
+    if os.environ.get("REPRO_GOLDEN", "") == "full":
+        return items
+    picks = sorted({0, len(items) // 2, len(items) - 1})
+    return [items[index] for index in picks]
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_golden_trace(name):
+    spec = REGISTRY[name]
+    if os.environ.get("REPRO_GOLDEN_UPDATE", "") == "1":
+        generate(names={name}, verbose=False)
+        return  # freshly written hashes would trivially match themselves
+    path = golden_path(name)
+    assert path.exists(), (
+        "no golden file for sweep %r — regenerate with "
+        "REPRO_GOLDEN_UPDATE=1 (from a trusted core!)" % name)
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["schema"] == GOLDEN_SCHEMA
+    assert document["scale"] == GOLDEN_SCALE
+
+    cells = golden_cells(spec)
+    recorded = document["cells"]
+    assert [key for key, __ in cells] == [entry["key"] for entry in recorded], (
+        "sweep %r cell grid drifted from its golden file (axes or key "
+        "order changed) — if intended, regenerate the golden traces"
+        % name)
+
+    drifted = []
+    for (key, task), expected in _selected(list(zip(cells, recorded))):
+        assert task.content_hash() == expected["task"], (
+            "task config for %s/%s no longer matches the golden file "
+            "(scenario/duration/params drift) — if intended, regenerate"
+            % (name, key))
+        actual = payload_hash(execute_task(task))
+        if actual != expected["payload"]:
+            drifted.append((key, expected["payload"][:12], actual[:12]))
+    assert not drifted, (
+        "sim core results drifted from the golden traces for sweep %r: %s"
+        % (name, ", ".join("%s (%s -> %s)" % item for item in drifted)))
+
+
+def test_no_orphaned_golden_files():
+    # A renamed/removed sweep must not leave a stale golden file behind.
+    on_disk = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(REGISTRY), (
+        "golden dir out of sync with the registry: orphaned %s, missing %s"
+        % (sorted(on_disk - set(REGISTRY)), sorted(set(REGISTRY) - on_disk)))
+
+
+def test_payload_hash_is_canonical():
+    # Key order and tuple/list spelling must not affect the hash.
+    assert payload_hash({"b": 1, "a": [1.5, 2]}) == payload_hash(
+        {"a": [1.5, 2], "b": 1})
+    assert payload_hash(0.1 + 0.2) != payload_hash(0.3)  # exact, no rounding
+
+
+if __name__ == "__main__":
+    count = generate(names=set(sys.argv[1:]) or None)
+    print("regenerated %d golden cells" % count)
