@@ -69,8 +69,9 @@ class BulkTraffic:
                 cc_factory=lambda: make_cc(self.cc_name),
             )
             self._listeners.append(listener)
-        for index in range(self.count):
-            self.sim.schedule(index * self.stagger, self._launch_flow, index)
+        self.sim.schedule_many(
+            (index * self.stagger, self._launch_flow, (index,))
+            for index in range(self.count))
 
     def _serve_download(self, connection):
         connection.send_forever()

@@ -144,11 +144,12 @@ class HarpoonGenerator:
                 cc_factory=lambda: make_cc(self.cc_name),
             )
             self._listeners.append(listener)
-        for index in range(self.sessions):
-            # Stagger session phase uniformly over one inter-arrival mean.
-            delay = float(self.rng.uniform(0.0, self.interarrival_mean))
-            self.sim.schedule(delay, self._session_tick, index)
-        self.sim.schedule(self.sample_interval, self._sample_active)
+        # Stagger session phase uniformly over one inter-arrival mean.
+        self.sim.schedule_many(
+            (float(self.rng.uniform(0.0, self.interarrival_mean)),
+             self._session_tick, (index,))
+            for index in range(self.sessions))
+        self.sim.call_later(self.sample_interval, self._sample_active)
 
     def stop(self):
         """Stop issuing transfers and abort all live ones."""
@@ -164,14 +165,14 @@ class HarpoonGenerator:
         if self._stopped:
             return
         self.stats.active_samples.append(self.stats.active)
-        self.sim.schedule(self.sample_interval, self._sample_active)
+        self.sim.call_later(self.sample_interval, self._sample_active)
 
     def _session_tick(self, index):
         if self._stopped:
             return
         self._start_transfer(index)
         gap = float(self.rng.exponential(self.interarrival_mean))
-        self.sim.schedule(gap, self._session_tick, index)
+        self.sim.call_later(gap, self._session_tick, index)
 
     # ------------------------------------------------------------------
     def _on_server_connection(self, connection):

@@ -91,8 +91,9 @@ class VideoStream:
         self.sender = RtpSender(self.sim, self.src_node, self.dst_node.addr,
                                 self.port)
         interval = self.duration / len(self.plans)
-        for index, plan in enumerate(self.plans):
-            self.sim.schedule(index * interval, self._send_plan, plan)
+        self.sim.schedule_many(
+            (index * interval, self._send_plan, (plan,))
+            for index, plan in enumerate(self.plans))
         return self
 
     @property
@@ -104,7 +105,8 @@ class VideoStream:
         self.sender.send(plan.payload_bytes, timestamp=self.sim.now,
                          media=plan.index)
         if self.arq and not retransmission:
-            self.sim.schedule(self.arq_rtt * 2.0, self._maybe_retransmit, plan)
+            self.sim.call_later(self.arq_rtt * 2.0, self._maybe_retransmit,
+                                plan)
 
     def _maybe_retransmit(self, plan):
         if plan.index in self._retransmitted:

@@ -73,6 +73,7 @@ class VoipCall:
         self.receiver = None
         self.sender = None
         self._sent = 0
+        self._send_frame_cb = self._send_frame  # bound once: runs per frame
 
     def start(self):
         """Begin streaming now; frames go out every 20 ms."""
@@ -91,10 +92,9 @@ class VoipCall:
         if index >= self.n_frames:
             return
         self.send_times[index] = self.sim.now
-        self.sender.send(PAYLOAD_BYTES, timestamp=index * FRAME_SECONDS,
-                         media=index)
+        self.sender.send(PAYLOAD_BYTES, index * FRAME_SECONDS, index)
         self._sent += 1
-        self.sim.schedule(FRAME_SECONDS, self._send_frame, index + 1)
+        self.sim.call_later(FRAME_SECONDS, self._send_frame_cb, index + 1)
 
     def finish(self):
         """Close sockets and return the playout outcome + degraded signal.

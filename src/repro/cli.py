@@ -17,6 +17,12 @@ Subcommands
 ``figures``
     Regenerate the paper's ASCII figures/tables from their registered
     sweeps (all of them, or the names given).
+``perf``
+    Sim-core performance tooling: run the events/sec benchmark and
+    write ``BENCH_simcore.json`` (``--quick`` for the CI smoke mode,
+    ``--check`` to fail on a >30% events/sec regression versus the
+    committed baseline), or profile one registry cell with
+    ``--profile SWEEP [--cell N]``.
 
 Exit status is 0 on success, 2 on bad arguments (argparse), 1 on
 runtime failure.
@@ -323,6 +329,46 @@ def cmd_figures(args):
     return 0
 
 
+def cmd_perf(args):
+    from repro.perf import bench as bench_module
+    from repro.perf.profile import SORT_KEYS, profile_cell
+
+    if args.profile:
+        text, __ = profile_cell(args.profile, cell=args.cell,
+                                scale=args.scale or 1.0, top=args.top,
+                                sort=args.sort)
+        print(text)
+        return 0
+
+    reference = None
+    baseline = None
+    try:
+        baseline = bench_module.load_baseline(args.baseline)
+        reference = baseline.get("reference")
+    except (OSError, ValueError):
+        if args.check:
+            raise SystemExit("perf --check: no readable baseline at %r"
+                             % args.baseline)
+    document = bench_module.run_bench(quick=args.quick,
+                                      repetitions=args.repetitions,
+                                      reference=reference)
+    print(bench_module.render_summary(document))
+    # --check compares before anything is written, and a bare --check
+    # never rewrites the committed baseline it compares against; pass
+    # --output explicitly to keep the fresh measurement.
+    passed = True
+    if args.check:
+        passed = bench_module.check_regression(document, baseline,
+                                               tolerance=args.tolerance)
+    output = args.output
+    if output is None:
+        output = "" if args.check else bench_module.DEFAULT_OUTPUT
+    if output:
+        path = bench_module.write_bench(document, output)
+        print("wrote %s" % path, file=sys.stderr)
+    return 0 if passed else 1
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing.
 # ---------------------------------------------------------------------------
@@ -385,6 +431,39 @@ def build_parser():
                          help="figure sweeps to render (default: all)")
     _add_runner_arguments(figures)
     figures.set_defaults(fn=cmd_figures)
+
+    perf = sub.add_parser(
+        "perf", help="sim-core benchmark (BENCH_simcore.json) and "
+                     "cell profiler")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI smoke mode: scale-0.25 cells, 2 reps")
+    perf.add_argument("--repetitions", type=int, default=None,
+                      help="best-of-N timing (default: 3, quick: 2)")
+    perf.add_argument("--output", default=None,
+                      help="where to write the bench JSON (default: "
+                           "BENCH_simcore.json, or nothing under "
+                           "--check; '' always skips)")
+    perf.add_argument("--baseline", default="BENCH_simcore.json",
+                      help="committed baseline for --check and the "
+                           "pre-overhaul reference block")
+    perf.add_argument("--check", action="store_true",
+                      help="exit 1 if events/sec regressed more than "
+                           "--tolerance vs the baseline")
+    perf.add_argument("--tolerance", type=float, default=0.30,
+                      help="allowed fractional events/sec drop "
+                           "(default 0.30)")
+    perf.add_argument("--profile", metavar="SWEEP", default=None,
+                      help="cProfile one registry cell instead of "
+                           "benchmarking")
+    perf.add_argument("--cell", type=int, default=0,
+                      help="cell index for --profile (default 0)")
+    perf.add_argument("--top", type=int, default=25,
+                      help="rows to print for --profile")
+    perf.add_argument("--sort", default="tottime",
+                      help="profile sort key: tottime/cumulative/ncalls")
+    perf.add_argument("--scale", type=float, default=None,
+                      help="scale for --profile cells (default 1.0)")
+    perf.set_defaults(fn=cmd_perf)
     return parser
 
 

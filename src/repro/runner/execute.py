@@ -6,8 +6,16 @@ cache-loaded) back into the value the study layer expects.  Everything
 here is module-level and picklable so the grid runner can ship tasks to
 worker processes.  Study-layer imports happen lazily inside the
 executors to keep ``repro.runner`` import-light and cycle-free.
+
+Cells run with the cyclic garbage collector paused: the sim core is
+careful about reference cycles (packets are pooled, events are plain
+lists) and gen-0 scans over a large live heap cost several percent of
+every cell.  The pause cannot change results — collection timing has no
+observable effect on the simulation — and collection happens naturally
+once the payload is built.
 """
 
+import gc
 from dataclasses import asdict
 
 
@@ -124,7 +132,14 @@ _EXECUTORS = {
 
 def execute_task(task):
     """Run one cell simulation and return its JSON-ready payload."""
-    return jsonify(_EXECUTORS[task.kind](task))
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        return jsonify(_EXECUTORS[task.kind](task))
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 # ---------------------------------------------------------------------------

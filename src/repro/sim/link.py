@@ -17,6 +17,7 @@ worker processes.
 
 import hashlib
 import random
+from heapq import heappush
 
 
 def _stable_seed(name):
@@ -50,6 +51,14 @@ class InterfaceStats:
 class Interface:
     """One direction of a point-to-point link.
 
+    Hot-path notes: the serializer chain (``send`` → ``_tx_done`` /
+    ``_tx_done_unmetered``) runs once per packet per hop and open-codes
+    both the engine's scheduling and the start-of-next-transmission
+    logic (the same inline block also lives in ``Node.send`` and
+    ``Node.receive``'s forward branch); packets lost on the wire are
+    returned to the :mod:`repro.sim.packet` pool here, delivered
+    packets by the receiving node.
+
     Parameters
     ----------
     sim:
@@ -74,10 +83,23 @@ class Interface:
         as transmitted in the interface statistics — they vanish between
         the sender and the receiver, as on a real radio link — and are
         tallied in :attr:`wire_drops`.
+    metered:
+        When False the interface skips its per-packet transmit
+        statistics entirely (``stats`` stays zeroed and
+        :meth:`utilization` reports 0).  Topologies use this for edge
+        links, whose counters nothing ever reads; the links under
+        *study* stay metered.  The choice is made once, by binding the
+        serializer-completion callback, so metered interfaces pay no
+        extra branch.
     """
 
+    __slots__ = ("sim", "name", "rate_bps", "prop_delay", "queue",
+                 "dst_node", "loss_rate", "wire_drops", "_loss_rng",
+                 "stats", "_busy", "_tx_started", "_tx_done_cb",
+                 "_deliver_cb", "_q_push", "_q_pop", "metered")
+
     def __init__(self, sim, name, rate_bps, prop_delay, queue, dst_node=None,
-                 loss_rate=0.0):
+                 loss_rate=0.0, metered=True):
         self.sim = sim
         self.name = name
         self.rate_bps = float(rate_bps)
@@ -95,50 +117,113 @@ class Interface:
         self.stats = InterfaceStats()
         self._busy = False
         self._tx_started = 0.0
+        # Bound-method caches: creating a bound method per scheduled
+        # event (or per queue operation) is measurable at packet rates.
+        self.metered = bool(metered)
+        self._tx_done_cb = (self._tx_done if self.metered
+                            else self._tx_done_unmetered)
+        self._deliver_cb = dst_node.receive if dst_node is not None else None
+        self._q_push = queue.push
+        self._q_pop = queue.pop
 
     def connect(self, dst_node):
         """Attach the receiving node."""
         self.dst_node = dst_node
+        self._deliver_cb = dst_node.receive if dst_node is not None else None
 
     # ------------------------------------------------------------------
+    # The send/_tx_done pair below runs once per packet per hop — the
+    # single hottest path in the simulator.  It open-codes the engine's
+    # ``call_later`` (same ``[time, seq, fn, args]`` entries, same
+    # sequence-number order, no negative delays possible here), so keep
+    # it in lock-step with :class:`repro.sim.engine.Simulator`.
     def send(self, packet):
         """Queue ``packet`` for transmission; start the serializer if idle.
 
         Returns False when the queue dropped the packet.
         """
-        accepted = self.queue.push(packet, self.sim.now)
+        sim = self.sim
+        now = sim.now
+        accepted = self._q_push(packet, now)
         if accepted and not self._busy:
-            self._start_next()
+            packet = self._q_pop(now)
+            if packet is not None:
+                self._busy = True
+                self._tx_started = now
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap,
+                         [now + (packet.size * 8.0) / self.rate_bps, seq,
+                          self._tx_done_cb, packet])
+                sim._live += 1
         return accepted
 
-    def _start_next(self):
-        packet = self.queue.pop(self.sim.now)
-        if packet is None:
-            self._busy = False
-            return
-        self._busy = True
-        self._tx_started = self.sim.now
-        tx_time = (packet.size * 8.0) / self.rate_bps
-        self.sim.schedule(tx_time, self._tx_done, packet)
-
     def _tx_done(self, packet):
+        sim = self.sim
+        now = sim.now
         stats = self.stats
         stats.tx_packets += 1
         # A packet in flight across a reset_stats() only counts for the part
         # of its serialization inside the new window; crediting the whole
         # size would overstate post-warm-up utilization on slow links.
-        started = max(self._tx_started, stats.window_start)
-        tx_time = self.sim.now - self._tx_started
+        started = self._tx_started
+        tx_time = now - started
+        if started < stats.window_start:
+            started = stats.window_start
         if tx_time > 0.0:
-            stats.tx_bytes += packet.size * (self.sim.now - started) / tx_time
+            stats.tx_bytes += packet.size * (now - started) / tx_time
         else:
             stats.tx_bytes += packet.size
-        stats.busy_time += self.sim.now - started
+        stats.busy_time += now - started
         if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
             self.wire_drops += 1
-        elif self.dst_node is not None:
-            self.sim.schedule(self.prop_delay, self.dst_node.receive, packet)
-        self._start_next()
+            packet.release()
+        elif self._deliver_cb is not None:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap,
+                     [now + self.prop_delay, seq, self._deliver_cb,
+                      packet])
+            sim._live += 1
+        # Start serializing the next queued packet (inline _start_next:
+        # this tail runs once per transmitted packet).
+        packet = self._q_pop(now)
+        if packet is None:
+            self._busy = False
+            return
+        self._tx_started = now
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap,
+                 [now + (packet.size * 8.0) / self.rate_bps, seq,
+                  self._tx_done_cb, packet])
+        sim._live += 1
+
+    def _tx_done_unmetered(self, packet):
+        """Serializer completion for unmetered (edge) interfaces.
+
+        Identical to :meth:`_tx_done` minus the statistics block; bound
+        as ``_tx_done_cb`` at construction so the choice costs nothing
+        per packet.
+        """
+        sim = self.sim
+        now = sim.now
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            self.wire_drops += 1
+            packet.release()
+        elif self._deliver_cb is not None:
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap,
+                     [now + self.prop_delay, seq, self._deliver_cb,
+                      packet])
+            sim._live += 1
+        packet = self._q_pop(now)
+        if packet is None:
+            self._busy = False
+            return
+        self._tx_started = now
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap,
+                 [now + (packet.size * 8.0) / self.rate_bps, seq,
+                  self._tx_done_cb, packet])
+        sim._live += 1
 
     # ------------------------------------------------------------------
     @property

@@ -6,17 +6,38 @@ use the same class for both.  Demultiplexing follows the usual socket
 model:
 
 * TCP: established connections are keyed by
-  ``(peer_addr, peer_port, local_port)``; SYNs with no matching
-  connection go to the listener registered on the destination port.
+  ``(peer_addr, peer_port, local_port)``, packed into a single integer
+  on the hot path (ports are 16-bit; addresses are small simulation
+  integers) so demultiplexing hashes one int instead of a tuple; SYNs
+  with no matching connection go to the listener registered on the
+  destination port.
 * UDP: sockets are keyed by local port.
 
 Packets addressed to a port nobody listens on are dropped silently (the
 simulator has no RSTs/ICMP; nothing in the study needs them).
 """
 
+from heapq import heappush
+
+from repro.sim import packet as _packet_module
+from repro.sim.packet import _POOL_CAP as _PACKET_POOL_CAP
+from repro.sim.packet import _pool as _packet_pool
+
 
 class Node:
-    """A network element with interfaces, routes and transport endpoints."""
+    """A network element with interfaces, routes and transport endpoints.
+
+    :meth:`receive` is the per-packet hot path: it inlines the TCP/UDP
+    demultiplexing (rather than dispatching through the ``_deliver_*``
+    helpers) and returns locally delivered packets to the
+    :mod:`repro.sim.packet` pool once the transport callback has run —
+    transports must not retain delivered packets (see
+    docs/ARCHITECTURE.md).
+    """
+
+    __slots__ = ("sim", "name", "addr", "routes", "default_route",
+                 "tcp_connections", "tcp_listeners", "udp_sockets",
+                 "_next_port", "forwarded")
 
     def __init__(self, sim, name, addr):
         self.sim = sim
@@ -51,9 +72,28 @@ class Node:
     def send(self, packet):
         """Transmit ``packet`` toward its destination.
 
-        Returns False if the output queue dropped it.
+        Returns False if the output queue dropped it.  Open-codes
+        Interface.send like the forwarding branch of :meth:`receive`:
+        every transport segment enters the network here.
         """
-        return self.route_for(packet.dst).send(packet)
+        interface = self.routes.get(packet.dst, self.default_route)
+        if interface is None:
+            raise LookupError(
+                "%s has no route to %r" % (self.name, packet.dst))
+        sim = interface.sim
+        now = sim.now
+        accepted = interface._q_push(packet, now)
+        if accepted and not interface._busy:
+            packet = interface._q_pop(now)
+            if packet is not None:
+                interface._busy = True
+                interface._tx_started = now
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap,
+                         [now + (packet.size * 8.0) / interface.rate_bps,
+                          seq, interface._tx_done_cb, packet])
+                sim._live += 1
+        return accepted
 
     # ------------------------------------------------------------------
     # Reception / forwarding
@@ -61,28 +101,49 @@ class Node:
     def receive(self, packet):
         """Entry point for packets arriving from a link."""
         if packet.dst != self.addr:
+            # Forwarding: two of the three hops of every packet cross
+            # this branch, so it open-codes Interface.send (push, and
+            # start the serializer when idle) — keep in lock-step with
+            # repro.sim.link.
             self.forwarded += 1
-            self.send(packet)
+            interface = self.routes.get(packet.dst, self.default_route)
+            if interface is None:
+                raise LookupError(
+                    "%s has no route to %r" % (self.name, packet.dst))
+            sim = interface.sim
+            now = sim.now
+            if interface._q_push(packet, now) and not interface._busy:
+                packet = interface._q_pop(now)
+                if packet is not None:
+                    interface._busy = True
+                    interface._tx_started = now
+                    sim._seq = seq = sim._seq + 1
+                    heappush(sim._heap,
+                             [now + (packet.size * 8.0) / interface.rate_bps,
+                              seq, interface._tx_done_cb, packet])
+                    sim._live += 1
             return
-        if packet.proto == "tcp":
-            self._deliver_tcp(packet)
-        elif packet.proto == "udp":
-            self._deliver_udp(packet)
-
-    def _deliver_tcp(self, packet):
-        key = (packet.src, packet.sport, packet.dport)
-        connection = self.tcp_connections.get(key)
-        if connection is not None:
-            connection.handle_packet(packet)
-            return
-        listener = self.tcp_listeners.get(packet.dport)
-        if listener is not None:
-            listener.handle_packet(packet)
-
-    def _deliver_udp(self, packet):
-        socket = self.udp_sockets.get(packet.dport)
-        if socket is not None:
-            socket.handle_packet(packet)
+        proto = packet.proto
+        if proto == "tcp":
+            connection = self.tcp_connections.get(
+                (packet.src << 32) | (packet.sport << 16) | packet.dport)
+            if connection is not None:
+                connection.handle_packet(packet)
+            else:
+                listener = self.tcp_listeners.get(packet.dport)
+                if listener is not None:
+                    listener.handle_packet(packet)
+        elif proto == "udp":
+            socket = self.udp_sockets.get(packet.dport)
+            if socket is not None:
+                socket.handle_packet(packet)
+        # The packet has left the simulation: recycle it (inline
+        # Packet.release — one call per delivered packet).  Transport
+        # callbacks must not have kept a reference (pooling contract).
+        if (_packet_module.POOL_ENABLED and not packet._pooled
+                and len(_packet_pool) < _PACKET_POOL_CAP):
+            packet._pooled = True
+            _packet_pool.append(packet)
 
     # ------------------------------------------------------------------
     # Endpoint registry (used by the transport layers)
@@ -93,14 +154,25 @@ class Node:
         self._next_port += 1
         return port
 
+    @staticmethod
+    def _tcp_key(peer_addr, peer_port, local_port):
+        """Pack the demux triple into the int key used on the hot path."""
+        if not (0 <= peer_port < 65536 and 0 <= local_port < 65536
+                and peer_addr >= 0):
+            raise ValueError("cannot key TCP connection (%r, %r, %r)"
+                             % (peer_addr, peer_port, local_port))
+        return (peer_addr << 32) | (peer_port << 16) | local_port
+
     def register_tcp(self, peer_addr, peer_port, local_port, connection):
-        key = (peer_addr, peer_port, local_port)
+        key = self._tcp_key(peer_addr, peer_port, local_port)
         if key in self.tcp_connections:
-            raise ValueError("TCP connection %r already registered" % (key,))
+            raise ValueError("TCP connection %r already registered"
+                             % ((peer_addr, peer_port, local_port),))
         self.tcp_connections[key] = connection
 
     def unregister_tcp(self, peer_addr, peer_port, local_port):
-        self.tcp_connections.pop((peer_addr, peer_port, local_port), None)
+        self.tcp_connections.pop(
+            self._tcp_key(peer_addr, peer_port, local_port), None)
 
     def register_tcp_listener(self, port, listener):
         if port in self.tcp_listeners:

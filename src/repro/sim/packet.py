@@ -8,8 +8,28 @@ dynamic dispatch, while transport demultiplexing switches on ``proto``.
 Sizes are *wire* sizes in bytes, i.e. payload plus IP/transport header
 overhead, because the buffers under study are counted in (full-sized)
 packets and the links serialize wire bytes.
+
+Pooling
+-------
+The enqueue→serialize→deliver hot path creates one :class:`Packet` per
+segment; at backbone rates that is tens of thousands of allocations per
+simulated second.  :meth:`Packet.alloc` hands out packets from a
+process-wide free list refilled by :meth:`Packet.release`, which the sim
+core calls at the two points where a packet provably leaves the
+simulation: final delivery to a local transport endpoint
+(:meth:`repro.sim.node.Node.receive`) and corruption loss on the wire
+(:meth:`repro.sim.link.Interface._tx_done`).  Packet ids keep their
+global allocation order whether or not a packet came from the pool, so
+pooled runs are bit-identical to unpooled runs
+(``REPRO_PACKET_POOL=0`` disables the pool entirely).
+
+The contract for transport/application callbacks: **do not retain a
+reference to a delivered Packet past the callback** — keep the
+``payload`` object instead (it is never recycled).  See
+docs/ARCHITECTURE.md.
 """
 
+import os
 from itertools import count
 
 # TCP flag bits.
@@ -24,6 +44,13 @@ UDP_HEADER = 8
 RTP_HEADER = 12
 
 _packet_ids = count(1)
+
+#: Free list shared by every simulation in the process.  Bounded so a
+#: pathological run cannot pin unbounded memory in dead packets.
+_pool = []
+_POOL_CAP = 8192
+
+POOL_ENABLED = os.environ.get("REPRO_PACKET_POOL", "1") != "0"
 
 
 class Packet:
@@ -67,6 +94,7 @@ class Packet:
         "payload",
         "created",
         "enqueued_at",
+        "_pooled",
     )
 
     def __init__(
@@ -102,6 +130,66 @@ class Packet:
         self.payload = payload
         self.created = created
         self.enqueued_at = 0.0
+        self._pooled = False
+
+    @classmethod
+    def alloc(
+        cls,
+        src,
+        dst,
+        sport,
+        dport,
+        proto,
+        size,
+        seq=0,
+        ack_no=0,
+        flags=0,
+        payload_len=0,
+        ts=0.0,
+        ts_echo=-1.0,
+        payload=None,
+        created=0.0,
+    ):
+        """Construct a packet, reusing a pooled instance when possible.
+
+        Field-for-field equivalent to the constructor — including the
+        freshly drawn ``pid`` — so pooling never changes results.
+        """
+        if not _pool:
+            return cls(src, dst, sport, dport, proto, size, seq, ack_no,
+                       flags, payload_len, ts, ts_echo, payload, created)
+        self = _pool.pop()
+        self.pid = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto
+        self.size = size
+        self.seq = seq
+        self.ack_no = ack_no
+        self.flags = flags
+        self.payload_len = payload_len
+        self.ts = ts
+        self.ts_echo = ts_echo
+        self.payload = payload
+        self.created = created
+        self.enqueued_at = 0.0
+        self._pooled = False
+        return self
+
+    def release(self):
+        """Return this packet to the free list (sim-core use only).
+
+        Safe to call on any packet at an ownership boundary: double
+        releases and releases with pooling disabled are no-ops.  The
+        ``payload`` reference is kept intact until the instance is
+        actually reused, so late readers of an already-released packet
+        (tests, logs) still see its final state.
+        """
+        if POOL_ENABLED and not self._pooled and len(_pool) < _POOL_CAP:
+            self._pooled = True
+            _pool.append(self)
 
     def flag_names(self):
         """Human-readable flag list (for logs and tests)."""

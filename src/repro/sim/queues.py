@@ -98,7 +98,17 @@ class QueueStats:
 
 
 class Queue:
-    """Abstract FIFO with drop policy.  Subclasses implement push/pop."""
+    """Abstract FIFO with drop policy.  Subclasses implement push/pop.
+
+    The shared plumbing (``_accept``/``_reject``/``_take``) updates
+    :class:`QueueStats` counters inline rather than through the
+    ``record_*`` helpers: these run once per packet per hop and are part
+    of the sim core's hot path.  The helpers remain the public API for
+    out-of-band bookkeeping.
+    """
+
+    __slots__ = ("capacity_packets", "capacity_bytes", "stats", "_queue",
+                 "_bytes")
 
     def __init__(self, capacity_packets=None, capacity_bytes=None):
         if capacity_packets is None and capacity_bytes is None:
@@ -137,38 +147,128 @@ class Queue:
 
     # -- shared plumbing --------------------------------------------------
     def _accept(self, packet, now):
+        queue = self._queue
+        size = packet.size
         packet.enqueued_at = now
-        self._queue.append(packet)
-        self._bytes += packet.size
-        self.stats.record_enqueue(packet, occupancy=len(self._queue))
+        queue.append(packet)
+        self._bytes += size
+        stats = self.stats
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        stats.occupancy_samples.append(len(queue))
 
     def _reject(self, packet):
-        self.stats.record_drop(packet)
+        stats = self.stats
+        stats.dropped += 1
+        stats.bytes_dropped += packet.size
 
     def _take(self, now):
         packet = self._queue.popleft()
-        self._bytes -= packet.size
-        self.stats.record_dequeue(packet, now - packet.enqueued_at)
+        size = packet.size
+        self._bytes -= size
+        sojourn = now - packet.enqueued_at
+        stats = self.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        stats.delay_sum += sojourn
+        stats.delay_samples += 1
+        if sojourn > stats.delay_max:
+            stats.delay_max = sojourn
         return packet
 
 
 class DropTailQueue(Queue):
-    """Plain FIFO that drops arrivals once full — the paper's discipline."""
+    """Plain FIFO that drops arrivals once full — the paper's discipline.
+
+    ``push``/``pop`` inline the shared plumbing: drop-tail queues sit on
+    every hop of every topology, so this is the hottest queue code in
+    the tree.
+    """
+
+    __slots__ = ()
 
     def push(self, packet, now):
-        if self._would_overflow(packet):
+        queue = self._queue
+        size = packet.size
+        occupancy = len(queue)
+        capacity = self.capacity_packets
+        if capacity is not None and occupancy >= capacity:
             self._reject(packet)
             return False
-        self._accept(packet, now)
+        capacity = self.capacity_bytes
+        if capacity is not None and self._bytes + size > capacity:
+            self._reject(packet)
+            return False
+        packet.enqueued_at = now
+        queue.append(packet)
+        self._bytes += size
+        stats = self.stats
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        stats.occupancy_samples.append(occupancy + 1)
         return True
 
     def pop(self, now):
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        return self._take(now)
+        packet = queue.popleft()
+        size = packet.size
+        self._bytes -= size
+        sojourn = now - packet.enqueued_at
+        stats = self.stats
+        stats.dequeued += 1
+        stats.bytes_dequeued += size
+        stats.delay_sum += sojourn
+        stats.delay_samples += 1
+        if sojourn > stats.delay_max:
+            stats.delay_max = sojourn
+        return packet
 
     def __repr__(self):
         return "DropTailQueue(len=%d/%s)" % (len(self._queue), self.capacity_packets)
+
+
+class UnmeteredDropTailQueue(DropTailQueue):
+    """Drop-tail FIFO that skips per-packet statistics on the fast path.
+
+    Edge (non-bottleneck) links never drop — their queues are sized far
+    beyond any offered load — and nothing ever reads their counters, so
+    the per-packet stats bookkeeping of :class:`DropTailQueue` is pure
+    overhead there (two of the three hops of every packet).  Drops, if a
+    misconfigured topology ever produces one, still fall back to the
+    metered reject path so they remain visible in ``stats.dropped``.
+    """
+
+    __slots__ = ()
+
+    def push(self, packet, now):
+        queue = self._queue
+        capacity = self.capacity_packets
+        if capacity is not None and len(queue) >= capacity:
+            self._reject(packet)
+            return False
+        capacity = self.capacity_bytes
+        if capacity is not None and self._bytes + packet.size > capacity:
+            self._reject(packet)
+            return False
+        # No enqueued_at stamp: nothing reads sojourn times on an
+        # unmetered queue (the metered bottleneck re-stamps on its push).
+        queue.append(packet)
+        self._bytes += packet.size
+        return True
+
+    def pop(self, now):
+        queue = self._queue
+        if not queue:
+            return None
+        packet = queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def __repr__(self):
+        return "UnmeteredDropTailQueue(len=%d/%s)" % (
+            len(self._queue), self.capacity_packets)
 
 
 class REDQueue(Queue):
@@ -179,6 +279,9 @@ class REDQueue(Queue):
     ``2*max_th`` (gentle RED).  Counts are in packets, matching the
     packet-counted buffers of the paper.
     """
+
+    __slots__ = ("min_th", "max_th", "max_p", "weight", "avg",
+                 "_count_since_drop", "_idle_since", "_rng", "_weyl")
 
     def __init__(
         self,
@@ -198,12 +301,13 @@ class REDQueue(Queue):
         self._count_since_drop = -1
         self._idle_since = None
         self._rng = rng
+        self._weyl = 0.0
 
     def _random(self):
         if self._rng is None:
             # Deterministic fallback: quasi-random Weyl sequence.  Keeps the
             # queue usable without an RNG while remaining well distributed.
-            self._weyl = (getattr(self, "_weyl", 0.0) + 0.6180339887498949) % 1.0
+            self._weyl = (self._weyl + 0.6180339887498949) % 1.0
             return self._weyl
         return float(self._rng.random())
 
@@ -277,6 +381,9 @@ class CoDelQueue(Queue):
     drop spacing shrinks with the square root of the drop count.  This is
     the algorithm the paper cites as the bufferbloat community's answer.
     """
+
+    __slots__ = ("target", "interval", "first_above_time", "drop_next",
+                 "drop_count", "dropping")
 
     def __init__(self, capacity_packets, target=0.005, interval=0.100):
         super().__init__(capacity_packets=capacity_packets)

@@ -19,7 +19,7 @@ under test (the "multimedia hosts"); background traffic uses the rest.
 
 from repro.sim.link import Interface
 from repro.sim.node import Node
-from repro.sim.queues import DropTailQueue
+from repro.sim.queues import DropTailQueue, UnmeteredDropTailQueue
 from repro.util.units import GBPS, MBPS, ms
 
 #: Wire size of a full-sized data packet (MSS 1460 + 40 bytes of headers).
@@ -129,22 +129,29 @@ class DumbbellNetwork:
         return node
 
     def _connect_edge(self, host, router, rate, delay):
-        """Full-duplex host<->router link with effectively infinite queues."""
+        """Full-duplex host<->router link with effectively infinite queues.
+
+        Edge queues are unmetered: they never drop and nothing reads
+        their counters, so they skip per-packet stats (the buffers under
+        *study* are the metered bottleneck queues).
+        """
         to_router = Interface(
             self.sim,
             "%s->%s" % (host.name, router.name),
             rate,
             delay,
-            DropTailQueue(capacity_packets=EDGE_QUEUE_PACKETS),
+            UnmeteredDropTailQueue(capacity_packets=EDGE_QUEUE_PACKETS),
             router,
+            metered=False,
         )
         to_host = Interface(
             self.sim,
             "%s->%s" % (router.name, host.name),
             rate,
             delay,
-            DropTailQueue(capacity_packets=EDGE_QUEUE_PACKETS),
+            UnmeteredDropTailQueue(capacity_packets=EDGE_QUEUE_PACKETS),
             host,
+            metered=False,
         )
         host.set_default_route(to_router)
         router.add_route(host.addr, to_host)

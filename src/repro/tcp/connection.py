@@ -28,7 +28,15 @@ from bisect import bisect_right
 from itertools import count as _counter
 
 from repro.sim.engine import Timer
-from repro.sim.packet import FLAG_ACK, FLAG_FIN, FLAG_SYN, Packet, tcp_wire_size
+from repro.sim.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_SYN,
+    IPV4_HEADER,
+    TCP_HEADER,
+    Packet,
+    tcp_wire_size,
+)
 from repro.tcp.cc import Reno
 
 # Connection states (strings keep debugging output readable).
@@ -118,6 +126,20 @@ class TcpConnection:
 
     Server side: created by :class:`repro.tcp.listener.TcpListener`.
     """
+
+    __slots__ = (
+        "sim", "node", "peer_addr", "peer_port", "local_port", "cc", "mss",
+        "delayed_ack", "rwnd", "state", "stats",
+        "on_established", "on_data", "on_message", "on_peer_fin", "on_close",
+        "snd_una", "snd_nxt", "_app_bytes", "_infinite", "_fin_pending",
+        "_fin_sent", "_fin_acked", "_fin_seq", "_tx_marker_offsets",
+        "_tx_marker_meta", "_dupacks", "_in_recovery", "_recover",
+        "_inflation", "_partial_acks", "_peer_rwnd", "srtt", "rttvar",
+        "min_rtt", "rto", "_rto_timer", "_handshake_retries",
+        "rcv_nxt", "_rx_holes", "_rx_marker_heap", "_rx_marker_seen",
+        "_peer_fin_seq", "_peer_fin_consumed", "_delack_timer",
+        "_pending_ack_segments", "_ts_to_echo",
+    )
 
     def __init__(
         self,
@@ -274,16 +296,25 @@ class TcpConnection:
         if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT, LAST_ACK):
             return
         data_end = self._data_end_seq()
+        mss = self.mss
+        peer_rwnd = self._peer_rwnd
+        cc = self.cc
         while True:
-            limit = self.snd_una + self.effective_window()
-            if self.snd_nxt >= limit:
+            # Inline effective_window(): cwnd may move inside the loop
+            # (never does today), so re-read it like the method did.
+            window = cc.cwnd + self._inflation
+            if peer_rwnd < window:
+                window = peer_rwnd
+            limit = self.snd_una + window
+            snd_nxt = self.snd_nxt
+            if snd_nxt >= limit:
                 break
-            if self.snd_nxt < data_end:
-                payload = int(min(self.mss, data_end - self.snd_nxt, limit - self.snd_nxt))
+            if snd_nxt < data_end:
+                payload = int(min(mss, data_end - snd_nxt, limit - snd_nxt))
                 if payload <= 0:
                     break
-                self._send_segment(self.snd_nxt, payload)
-                self.snd_nxt += payload
+                self._send_segment(snd_nxt, payload)
+                self.snd_nxt = snd_nxt + payload
             elif self._fin_pending and not self._fin_sent:
                 self._fin_seq = self.snd_nxt
                 self._send_control(FLAG_FIN | FLAG_ACK, seq=self.snd_nxt,
@@ -297,8 +328,11 @@ class TcpConnection:
                 break
             else:
                 break
-        if self.snd_nxt > self.snd_una and not self._rto_timer.active:
-            self._rto_timer.restart(self.rto)
+        if self.snd_nxt > self.snd_una:
+            rto_timer = self._rto_timer
+            entry = rto_timer._entry
+            if entry is None or entry[2] is None:  # inline Timer.active
+                rto_timer.restart(self.rto)
 
     def _markers_for(self, seq, payload_len):
         """Message markers whose end offset falls inside this segment.
@@ -339,46 +373,55 @@ class TcpConnection:
         ]
 
     def _send_segment(self, seq, payload_len, retransmission=False):
-        packet = Packet(
-            src=self.node.addr,
-            dst=self.peer_addr,
-            sport=self.local_port,
-            dport=self.peer_port,
-            proto="tcp",
-            size=tcp_wire_size(payload_len),
-            seq=seq,
-            ack_no=self.rcv_nxt,
-            flags=FLAG_ACK,
-            payload_len=payload_len,
-            ts=self.sim.now,
-            ts_echo=self._ts_to_echo,
-            payload=self._markers_for(seq, payload_len),
-            created=self.sim.now,
+        now = self.sim.now
+        markers = (self._markers_for(seq, payload_len)
+                   if self._tx_marker_offsets else None)
+        packet = Packet.alloc(
+            self.node.addr,          # src
+            self.peer_addr,          # dst
+            self.local_port,         # sport
+            self.peer_port,          # dport
+            "tcp",
+            IPV4_HEADER + TCP_HEADER + payload_len,  # tcp_wire_size()
+            seq,
+            self.rcv_nxt,            # ack_no
+            FLAG_ACK,
+            payload_len,
+            now,                     # ts
+            self._ts_to_echo,
+            markers,
+            now,                     # created
         )
-        self.stats.segments_sent += 1
+        stats = self.stats
+        stats.segments_sent += 1
         if retransmission:
-            self.stats.retransmitted_segments += 1
-        # Data segments piggyback the current ACK: cancel any pending one.
-        self._delack_timer.cancel()
+            stats.retransmitted_segments += 1
+        # Data segments piggyback the current ACK: cancel any pending one
+        # (guarded inline — the timer is idle for almost every segment a
+        # bulk sender pushes).
+        delack = self._delack_timer
+        if delack._entry is not None:
+            delack.cancel()
         self._pending_ack_segments = 0
         self.node.send(packet)
 
     def _send_control(self, flags, seq, payload_len=0, markers=None):
-        packet = Packet(
-            src=self.node.addr,
-            dst=self.peer_addr,
-            sport=self.local_port,
-            dport=self.peer_port,
-            proto="tcp",
-            size=tcp_wire_size(payload_len),
-            seq=seq,
-            ack_no=self.rcv_nxt if (flags & FLAG_ACK) else 0,
-            flags=flags,
-            payload_len=payload_len,
-            ts=self.sim.now,
-            ts_echo=self._ts_to_echo,
-            payload=markers,
-            created=self.sim.now,
+        now = self.sim.now
+        packet = Packet.alloc(
+            self.node.addr,          # src
+            self.peer_addr,          # dst
+            self.local_port,         # sport
+            self.peer_port,          # dport
+            "tcp",
+            IPV4_HEADER + TCP_HEADER + payload_len,  # tcp_wire_size()
+            seq,
+            self.rcv_nxt if (flags & FLAG_ACK) else 0,  # ack_no
+            flags,
+            payload_len,
+            now,                     # ts
+            self._ts_to_echo,
+            markers,
+            now,                     # created
         )
         self.node.send(packet)
 
@@ -460,8 +503,9 @@ class TcpConnection:
                 self.on_established(self)
 
         ack = packet.ack_no
-        if ack > self.snd_una:
-            acked = ack - self.snd_una
+        snd_una = self.snd_una
+        if ack > snd_una:
+            acked = ack - snd_una
             self.snd_una = ack
             self.stats.bytes_acked += acked
             if packet.ts_echo >= 0:
@@ -472,7 +516,7 @@ class TcpConnection:
                     self._inflation = 0.0
                     self._dupacks = 0
                     self.cc.on_exit_recovery(self.sim.now)
-                    if self.snd_nxt > self.snd_una:
+                    if self.snd_nxt > ack:
                         self._rto_timer.restart(self.rto)
                     else:
                         self._rto_timer.cancel()
@@ -490,11 +534,13 @@ class TcpConnection:
             else:
                 self._dupacks = 0
                 self.cc.on_ack(acked, self.sim.now, self.srtt)
-                if self.snd_nxt > self.snd_una:
+                if self.snd_nxt > ack:
                     self._rto_timer.restart(self.rto)
                 else:
-                    self._rto_timer.cancel()
-            if self._fin_sent and not self._fin_acked and self.snd_una > self._fin_seq:
+                    rto_timer = self._rto_timer
+                    if rto_timer._entry is not None:  # inline guard
+                        rto_timer.cancel()
+            if self._fin_sent and not self._fin_acked and ack > self._fin_seq:
                 self._fin_acked = True
                 self._maybe_finish()
             self._try_send()
@@ -587,9 +633,19 @@ class TcpConnection:
         else:
             self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
             self.srtt = 0.875 * self.srtt + 0.125 * sample
-        self.rto = min(max(self.srtt + max(0.01, 4.0 * self.rttvar), MIN_RTO), MAX_RTO)
-        self.stats.record_srtt(self.srtt)
-        self.cc.maybe_exit_slow_start(sample, self.min_rtt)
+        srtt = self.srtt
+        self.rto = min(max(srtt + max(0.01, 4.0 * self.rttvar), MIN_RTO), MAX_RTO)
+        # Inline stats.record_srtt: one sample per timestamped ACK.
+        stats = self.stats
+        stats.srtt_samples += 1
+        stats.srtt_sum += srtt
+        if srtt < stats.srtt_min:
+            stats.srtt_min = srtt
+        if srtt > stats.srtt_max:
+            stats.srtt_max = srtt
+        cc = self.cc
+        if cc.cwnd < cc.ssthresh:  # inline in_slow_start precondition
+            cc.maybe_exit_slow_start(sample, self.min_rtt)
 
     # ------------------------------------------------------------------
     # Receive path
@@ -606,37 +662,47 @@ class TcpConnection:
             self._ts_to_echo = packet.ts
 
         old_next = self.rcv_nxt
-        if seq <= self.rcv_nxt and (self._rx_holes is None or not len(self._rx_holes)):
+        holes = self._rx_holes
+        # `holes._ivals` is accessed directly (instead of len()) on this
+        # per-segment path; IntervalSet is repo-local, see util/intervals.
+        if seq <= old_next and (holes is None or not holes._ivals):
             self.rcv_nxt = end  # fast path: in-order arrival, no holes
         else:
-            if self._rx_holes is None:
+            if holes is None:
                 from repro.util.intervals import IntervalSet
 
-                self._rx_holes = IntervalSet()
-            self._rx_holes.add(max(seq, self.rcv_nxt), end)
-            self.rcv_nxt = self._rx_holes.contiguous_end(self.rcv_nxt)
-            self._rx_holes.prune_below(self.rcv_nxt)
+                holes = self._rx_holes = IntervalSet()
+            holes.add(max(seq, old_next), end)
+            self.rcv_nxt = holes.contiguous_end(old_next)
+            holes.prune_below(self.rcv_nxt)
 
         delivered = self.rcv_nxt - old_next
         out_of_order = delivered == 0 or (
-            self._rx_holes is not None and len(self._rx_holes) > 0
+            holes is not None and len(holes._ivals) > 0
         )
         if delivered > 0:
             self.stats.bytes_delivered += delivered
             if self.on_data is not None:
                 self.on_data(self, delivered)
-            self._fire_markers()
+            if self._rx_marker_heap:
+                self._fire_markers()
             if self._peer_fin_seq is not None and not self._peer_fin_consumed:
                 self._consume_fin_if_ready()
 
         if out_of_order or not self.delayed_ack:
             self._send_ack_now()
         else:
-            self._pending_ack_segments += 1
-            if self._pending_ack_segments >= 2:
+            pending = self._pending_ack_segments + 1
+            self._pending_ack_segments = pending
+            if pending >= 2:
                 self._send_ack_now()
-            elif not self._delack_timer.active:
-                self._delack_timer.start(DELACK_TIMEOUT)
+            else:
+                # Inline Timer.active: one delayed-ACK decision per
+                # in-order data segment.
+                delack = self._delack_timer
+                entry = delack._entry
+                if entry is None or entry[2] is None:
+                    delack.start(DELACK_TIMEOUT)
 
     def _stash_markers(self, markers):
         for offset, marker_id, meta in markers:
@@ -682,9 +748,30 @@ class TcpConnection:
                 self.on_close(self)
 
     def _send_ack_now(self):
-        self._delack_timer.cancel()
+        delack = self._delack_timer
+        if delack._entry is not None:
+            delack.cancel()
         self._pending_ack_segments = 0
-        self._send_control(FLAG_ACK, seq=self.snd_nxt)
+        # Inline _send_control(FLAG_ACK, seq=self.snd_nxt): pure ACKs are
+        # the most common control segment by far (one per delivered data
+        # pair), so skip the extra frame and the flag branches.
+        now = self.sim.now
+        self.node.send(Packet.alloc(
+            self.node.addr,          # src
+            self.peer_addr,          # dst
+            self.local_port,         # sport
+            self.peer_port,          # dport
+            "tcp",
+            IPV4_HEADER + TCP_HEADER,  # tcp_wire_size(0)
+            self.snd_nxt,            # seq
+            self.rcv_nxt,            # ack_no
+            FLAG_ACK,
+            0,                       # payload_len
+            now,                     # ts
+            self._ts_to_echo,
+            None,                    # payload
+            now,                     # created
+        ))
 
     def __repr__(self):
         return "TcpConnection(%s, %d:%d->%d:%d, una=%d nxt=%d rcv=%d)" % (

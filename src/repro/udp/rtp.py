@@ -48,16 +48,11 @@ class RtpSender:
 
     def send(self, payload_bytes, timestamp, media=None, marker=False):
         """Send one RTP packet; returns (packet, accepted)."""
-        rtp = RtpPacket(
-            seq=self.next_seq,
-            timestamp=timestamp,
-            marker=marker,
-            media=media,
-            sent_at=self.sim.now,
-        )
-        self.next_seq += 1
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        rtp = RtpPacket(seq, timestamp, marker, media, self.sim.now)
         accepted = self.socket.sendto(
-            RTP_HEADER + payload_bytes, self.dst_addr, self.dst_port, payload=rtp
+            RTP_HEADER + payload_bytes, self.dst_addr, self.dst_port, rtp
         )
         return rtp, accepted
 

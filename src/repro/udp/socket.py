@@ -1,6 +1,8 @@
 """Minimal UDP socket bound to a node port."""
 
-from repro.sim.packet import Packet, udp_wire_size
+from repro.sim.packet import IPV4_HEADER, UDP_HEADER, Packet, udp_wire_size
+
+_UDP_OVERHEAD = IPV4_HEADER + UDP_HEADER
 
 
 class UdpSocket:
@@ -15,6 +17,10 @@ class UdpSocket:
     on_datagram:
         ``fn(socket, packet)`` callback for received datagrams.
     """
+
+    __slots__ = ("sim", "node", "port", "on_datagram", "sent_datagrams",
+                 "sent_bytes", "received_datagrams", "received_bytes",
+                 "_closed")
 
     def __init__(self, sim, node, port=None, on_datagram=None):
         self.sim = sim
@@ -35,20 +41,26 @@ class UdpSocket:
         """
         if self._closed:
             raise RuntimeError("sendto() on closed socket")
-        packet = Packet(
-            src=self.node.addr,
-            dst=dst_addr,
-            sport=self.port,
-            dport=dst_port,
-            proto="udp",
-            size=udp_wire_size(payload_len),
-            payload_len=payload_len,
-            payload=payload,
-            created=self.sim.now,
+        node = self.node
+        packet = Packet.alloc(
+            node.addr,               # src
+            dst_addr,
+            self.port,               # sport
+            dst_port,
+            "udp",
+            _UDP_OVERHEAD + payload_len,  # udp_wire_size()
+            0,                       # seq
+            0,                       # ack_no
+            0,                       # flags
+            payload_len,
+            0.0,                     # ts
+            -1.0,                    # ts_echo
+            payload,
+            self.sim.now,            # created
         )
         self.sent_datagrams += 1
         self.sent_bytes += payload_len
-        return self.node.send(packet)
+        return node.send(packet)
 
     def handle_packet(self, packet):
         """Entry point from the node's UDP demultiplexer."""

@@ -58,14 +58,23 @@ class IntervalSet:
         return start
 
     def prune_below(self, cutoff):
-        """Discard all content below ``cutoff`` (delivered bytes)."""
+        """Discard all content below ``cutoff`` (delivered bytes).
+
+        O(dropped prefix), not O(n): intervals are sorted and disjoint,
+        so only a leading run can fall below ``cutoff`` and only the
+        first survivor can straddle it.  The TCP receive path calls this
+        once per data segment during loss recovery — with a rebuilt-list
+        implementation this was quadratic in the number of holes.
+        """
         ivals = self._ivals
-        keep = []
-        for start, end in ivals:
-            if end <= cutoff:
-                continue
-            keep.append((max(start, cutoff), end))
-        self._ivals = keep
+        drop = 0
+        n = len(ivals)
+        while drop < n and ivals[drop][1] <= cutoff:
+            drop += 1
+        if drop:
+            del ivals[:drop]
+        if ivals and ivals[0][0] < cutoff:
+            ivals[0] = (cutoff, ivals[0][1])
 
     def covers(self, start, end):
         """Return True if ``[start, end)`` is fully contained."""

@@ -1,0 +1,40 @@
+"""Property-test helper: hypothesis when available, seeded sweep if not.
+
+The golden-trace harness pins *results*; these property tests pin
+*invariants* (event ordering, queue conservation) under randomized
+operation sequences.  They are written against a single integer seed so
+the suite still runs — deterministically — on environments where
+hypothesis is unwanted: the decorator then degrades to a parametrized
+sweep over fixed seeds.
+"""
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without the dep
+    HAVE_HYPOTHESIS = False
+
+
+def seeded_property(max_examples=60):
+    """Decorate ``fn(seed: int)`` as a property test.
+
+    With hypothesis installed the seed is drawn (and shrunk) by the
+    framework; without it the test runs over ``range(max_examples)``.
+    """
+    if HAVE_HYPOTHESIS:
+        def wrap(fn):
+            return settings(
+                max_examples=max_examples,
+                deadline=None,
+                derandomize=True,  # CI stability: no flaky example drift
+                suppress_health_check=[HealthCheck.function_scoped_fixture],
+            )(given(seed=st.integers(min_value=0, max_value=2 ** 32 - 1))(fn))
+        return wrap
+
+    def wrap(fn):  # pragma: no cover - exercised only without the dep
+        return pytest.mark.parametrize("seed", range(max_examples))(fn)
+    return wrap

@@ -1,7 +1,10 @@
 """Unit tests for the discrete-event engine."""
 
+import random
+
 import pytest
 
+from proputil import seeded_property
 from repro.sim.engine import SimTimeError, Simulator, Timer
 
 
@@ -165,3 +168,218 @@ def test_timer_expiry_property():
     assert timer.expiry == 3.0
     sim.run()
     assert timer.expiry is None
+
+
+# ---------------------------------------------------------------------------
+# Fast-path API: call_later / call_at / schedule_many.
+# ---------------------------------------------------------------------------
+def test_call_later_and_call_at_fire_in_order():
+    sim = Simulator()
+    order = []
+    sim.call_later(2.0, order.append, "b")
+    sim.call_at(1.0, order.append, "a")
+    sim.call_later(2.0, order.append, "c")  # same time: FIFO by seq
+    sim.run()
+    assert order == ["a", "b", "c"]
+    with pytest.raises(SimTimeError):
+        sim.call_at(0.5, order.append, "past")
+    with pytest.raises(SimTimeError):
+        sim.call_later(-1.0, order.append, "past")
+
+
+def test_schedule_many_matches_loop_of_schedules():
+    """Batch scheduling must consume sequence numbers in iteration order,
+    exactly like an equivalent loop — tie-breaking is observable."""
+    sim_a, sim_b = Simulator(), Simulator()
+    order_a, order_b = [], []
+    triples = [(1.0, order_a.append, (index,)) for index in range(5)]
+    sim_a.schedule_many(iter(triples))
+    for __, __unused, (index,) in triples:
+        sim_b.schedule(1.0, order_b.append, index)
+    assert sim_a.pending() == sim_b.pending() == 5
+    sim_a.run()
+    sim_b.run()
+    assert order_a == order_b == [0, 1, 2, 3, 4]
+
+
+def test_schedule_many_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimTimeError):
+        sim.schedule_many([(0.5, lambda: None, ()), (-1.0, lambda: None, ())])
+    # The valid first triple was still scheduled (documented best-effort).
+    assert sim.pending() == 1
+
+
+def test_max_events_zero_or_negative_runs_nothing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "x")
+    assert sim.run(max_events=0) == 0
+    assert sim.run(max_events=-3) == 0
+    assert fired == []
+    assert sim.pending() == 1
+
+
+def test_events_executed_accumulates():
+    sim = Simulator()
+    for index in range(5):
+        sim.schedule(float(index + 1), lambda: None)
+    sim.run(max_events=2)
+    assert sim.events_executed == 2
+    sim.run()
+    assert sim.events_executed == 5
+
+
+# ---------------------------------------------------------------------------
+# Regression: cancel is O(1) lazy deletion, pending() is an exact counter.
+# ---------------------------------------------------------------------------
+def test_cancel_is_lazy_and_pending_is_exact():
+    sim = Simulator()
+    events = [sim.schedule(float(index + 1), lambda: None)
+              for index in range(100)]
+    assert sim.pending() == 100
+    heap_size = len(sim._heap)
+    for event in events[::2]:
+        event.cancel()
+    # Lazy deletion: cancellation must not touch the heap structure.
+    assert len(sim._heap) == heap_size
+    assert sim.pending() == 50
+    for event in events[::2]:
+        event.cancel()  # double cancel: exact no-op
+    assert sim.pending() == 50
+    executed = sim.run()
+    assert executed == 50
+    assert sim.pending() == 0
+    events[1].cancel()  # cancel after fire: exact no-op
+    assert sim.pending() == 0
+
+
+def test_pending_consistent_through_lazy_deletion_sweep():
+    """run(until=...) sweeps cancelled heads while fast-forwarding; the
+    live counter must not drift."""
+    sim = Simulator()
+    cancelled = [sim.schedule(1.0, lambda: None) for __ in range(10)]
+    keeper = sim.schedule(7.0, lambda: None)
+    for event in cancelled:
+        event.cancel()
+    assert sim.pending() == 1
+    sim.run(until=5.0)  # sweeps the cancelled entries below `until`
+    assert sim.now == 5.0
+    assert sim.pending() == 1
+    assert not keeper.cancelled
+    sim.run(until=10.0)
+    assert sim.pending() == 0
+
+
+def test_pending_is_consistent_mid_run():
+    sim = Simulator()
+    seen = []
+
+    def probe():
+        seen.append(sim.pending())
+
+    for index in range(3):
+        sim.schedule(float(index + 1), probe)
+    sim.run()
+    assert seen == [2, 1, 0]
+
+
+def test_timer_restart_does_not_leak_pending():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.start(5.0)
+    for __ in range(50):
+        timer.restart(5.0)
+    assert sim.pending() == 1
+    timer.cancel()
+    assert sim.pending() == 0
+
+
+# ---------------------------------------------------------------------------
+# Property: (time, seq) FIFO ordering under cancel/stop/max_events.
+# ---------------------------------------------------------------------------
+@seeded_property()
+def test_property_event_order_with_cancellations(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    live = []  # (time, id) in scheduling order
+    handles = {}
+    for event_id in range(rng.randrange(0, 40)):
+        time = rng.randrange(0, 8) * 0.25  # coarse grid: collisions likely
+        handles[event_id] = sim.schedule(time, fired.append, event_id)
+        live.append((time, event_id))
+    for time, event_id in list(live):
+        if rng.random() < 0.3:
+            handles[event_id].cancel()
+            if rng.random() < 0.5:
+                handles[event_id].cancel()  # idempotent
+            live.remove((time, event_id))
+    assert sim.pending() == len(live)
+
+    until = rng.choice([None, 0.6, 1.1, 1.75, 10.0])
+    max_events = rng.choice([None, 0, 1, 3, 10 ** 6])
+    executed = sim.run(until=until, max_events=max_events)
+
+    # Stable sort by time over scheduling order == (time, seq) order.
+    expected = [event_id for __, event_id in
+                sorted(live, key=lambda pair: pair[0])]
+    if until is not None:
+        expected = [event_id for event_id in expected
+                    if dict(map(reversed, live))[event_id] <= until]
+    if max_events is not None:
+        expected = expected[:max(0, max_events)]
+    assert fired == expected
+    assert executed == len(expected)
+    assert sim.pending() == len(live) - len(expected)
+    times = dict(map(reversed, live))
+    if fired:
+        assert sim.now >= times[fired[-1]]
+    if until is not None and executed == len(
+            [1 for t, __ in live if t <= until]):
+        # Everything below `until` ran (no max_events cut): clock lands on
+        # `until` exactly.
+        if max_events is None or executed < max_events:
+            assert sim.now == until
+
+
+@seeded_property()
+def test_property_mid_run_scheduling_preserves_order(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired_times = []
+    budget = [rng.randrange(1, 30)]
+
+    def tick():
+        fired_times.append(sim.now)
+        if budget[0] > 0:
+            budget[0] -= 1
+            for __ in range(rng.randrange(0, 3)):
+                sim.call_later(rng.randrange(0, 4) * 0.125, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    assert fired_times == sorted(fired_times)
+    assert sim.pending() == 0
+
+
+@seeded_property(max_examples=40)
+def test_property_stop_halts_exactly(seed):
+    rng = random.Random(seed)
+    sim = Simulator()
+    fired = []
+    count = rng.randrange(2, 20)
+    stop_at = rng.randrange(0, count)
+    for event_id in range(count):
+        if event_id == stop_at:
+            sim.schedule(float(event_id), lambda i=event_id: (
+                fired.append(i), sim.stop()))
+        else:
+            sim.schedule(float(event_id), fired.append, event_id)
+    executed = sim.run(until=100.0)
+    assert fired == list(range(stop_at + 1))
+    assert executed == stop_at + 1
+    assert sim.now == float(stop_at)  # stop: no fast-forward to `until`
+    assert sim.pending() == count - stop_at - 1

@@ -1,12 +1,21 @@
 """Tests for drop-tail, RED and CoDel queue disciplines."""
 
+import random
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from proputil import seeded_property
 from repro.sim.packet import Packet
-from repro.sim.queues import CoDelQueue, DropTailQueue, Queue, REDQueue
+from repro.sim.queues import (
+    CoDelQueue,
+    DropTailQueue,
+    Queue,
+    REDQueue,
+    UnmeteredDropTailQueue,
+)
 
 
 def make_packet(size=1500):
@@ -252,3 +261,100 @@ def test_property_conservation(sizes):
     assert stats.enqueued == stats.dequeued + len(queue)
     assert stats.bytes_enqueued == stats.bytes_dequeued + queue.byte_length
     assert stats.enqueued + stats.dropped == len(sizes)
+
+
+# ---------------------------------------------------------------------------
+# Conservation property across every discipline: whatever the drop
+# policy does, packets and bytes must balance exactly.
+# ---------------------------------------------------------------------------
+def _discipline_queues(rng):
+    capacity = rng.randint(1, 24)
+    return [
+        DropTailQueue(capacity_packets=capacity),
+        REDQueue(capacity_packets=max(capacity, 4),
+                 rng=random.Random(rng.randrange(2 ** 31))),
+        # Tight CoDel knobs so pop-time drops actually trigger within a
+        # short random schedule.
+        CoDelQueue(capacity_packets=max(capacity, 4), target=0.001,
+                   interval=0.005),
+        UnmeteredDropTailQueue(capacity_packets=capacity),
+    ]
+
+
+@seeded_property()
+def test_property_conservation_all_disciplines(seed):
+    rng = random.Random(seed)
+    for queue in _discipline_queues(rng):
+        accepted = rejected = returned = 0
+        bytes_accepted = bytes_returned = 0
+        now = 0.0
+        for __ in range(rng.randint(1, 250)):
+            now += rng.random() * 0.01
+            if rng.random() < 0.6:
+                size = rng.randint(40, 1500)
+                if queue.push(make_packet(size), now):
+                    accepted += 1
+                    bytes_accepted += size
+                else:
+                    rejected += 1
+            else:
+                packet = queue.pop(now)
+                if packet is not None:
+                    returned += 1
+                    bytes_returned += packet.size
+
+        stats = queue.stats
+        # Universal invariants: counters never negative, rates bounded.
+        for field in ("enqueued", "dropped", "dequeued", "bytes_enqueued",
+                      "bytes_dropped", "bytes_dequeued", "delay_samples"):
+            assert getattr(stats, field) >= 0, field
+        assert 0.0 <= stats.loss_rate <= 1.0
+        assert stats.delay_max >= 0.0
+        assert stats.delay_sum >= 0.0
+        assert queue.byte_length >= 0
+        assert len(queue) >= 0
+
+        if isinstance(queue, UnmeteredDropTailQueue):
+            # Unmetered: conservation holds against the caller's ledger
+            # (its stats stay zeroed unless a drop fires the fallback).
+            assert len(queue) == accepted - returned
+            assert queue.byte_length == bytes_accepted - bytes_returned
+            assert stats.enqueued == stats.dequeued == 0
+            assert stats.dropped == rejected
+            continue
+
+        # Metered disciplines: exact packet and byte conservation.
+        assert stats.enqueued == accepted
+        assert len(queue) == stats.enqueued - stats.dequeued
+        assert queue.byte_length == stats.bytes_enqueued - stats.bytes_dequeued
+        # CoDel drops at dequeue: those packets count in BOTH dequeued
+        # and dropped; everything the caller got back plus pop-drops
+        # equals the dequeue count.
+        pop_drops = stats.dropped - rejected
+        assert pop_drops >= 0
+        assert stats.dequeued == returned + pop_drops
+        assert stats.bytes_dequeued >= bytes_returned
+        assert stats.delay_samples == stats.dequeued
+        assert stats.enqueued + rejected == accepted + rejected
+
+
+@seeded_property(max_examples=40)
+def test_property_fifo_order_preserved(seed):
+    """No discipline reorders the packets it actually delivers."""
+    rng = random.Random(seed)
+    for queue in _discipline_queues(rng):
+        pushed, popped = [], []
+        now = 0.0
+        for index in range(rng.randint(1, 150)):
+            now += rng.random() * 0.01
+            if rng.random() < 0.6:
+                packet = make_packet(rng.randint(40, 1500))
+                if queue.push(packet, now):
+                    pushed.append(packet.pid)
+            else:
+                packet = queue.pop(now)
+                if packet is not None:
+                    popped.append(packet.pid)
+        # Delivered packets are a subsequence of accepted ones, in order.
+        iterator = iter(pushed)
+        assert all(pid in iterator for pid in popped)
