@@ -7,18 +7,14 @@ three queue disciplines.  AQM should recover most of the MOS that
 drop-tail loses to standing queues.
 """
 
-from repro.core.registry import get
-
-from benchmarks.common import comparison_table, grid_runner, run_once
-
-SPEC = get("aqm-voip")
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_aqm_rescues_bloated_uplink(benchmark):
     def run():
-        return SPEC.run(runner=grid_runner())
+        return run_registered("aqm-voip")
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     rows = [("%s @ %d pkts" % (discipline, packets),
              "%.1f" % cell["talks"], "%.1f" % cell["listens"],
              "%.0f ms" % (cell["delay"]["talks"] * 1000))

@@ -7,7 +7,7 @@ from repro.core.paper_data import FIG10A, FIG10B
 from repro.core.registry import get
 from repro.core.web_study import render_fig10
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def _table(results, paper, workloads, buffers, title):
@@ -29,9 +29,9 @@ def test_fig10a_download_activity(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig10(results, "down", buffers, workloads=workloads))
     _table(results, FIG10A, workloads, buffers,
@@ -50,9 +50,9 @@ def test_fig10b_upload_activity(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig10(results, "up", buffers, workloads=workloads))
     _table(results, FIG10B, workloads, buffers,

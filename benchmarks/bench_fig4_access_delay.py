@@ -10,7 +10,7 @@ from repro.core.registry import get
 from repro.core.study import render_fig4
 from repro.qoe.scales import g114_class
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_fig4_upstream(benchmark):
@@ -19,9 +19,9 @@ def test_fig4_upstream(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered("fig4-up")
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig4(results, "up", buffers=buffers, workloads=workloads))
     rows = []
@@ -45,9 +45,9 @@ def test_fig4_downstream_only(benchmark):
     spec = get("fig4-down")
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered("fig4-down")
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     # Figure 4a envelope: downlink mean delay < 200 ms at every size,
     # uplink (pure ACK traffic) near zero.
     for packets in spec.buffer_axis():

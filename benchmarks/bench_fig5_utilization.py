@@ -4,21 +4,19 @@ The grid is the registered ``fig5`` sweep — the same cells (and cache
 entries) that ``python -m repro run fig5`` executes.
 """
 
-from repro.core.registry import get
 from repro.core.study import render_fig5
 
-from benchmarks.common import grid_runner, run_once
-
-SPEC = get("fig5")
+from benchmarks.common import run_once, run_registered
 
 
 def test_fig5(benchmark):
     def run():
-        return SPEC.run(runner=grid_runner())
+        return run_registered("fig5")
 
     results = run_once(benchmark, run)
-    by_packets = {packets: report
-                  for (__, packets), report in results.items()}
+    # Typed records delegate QosReport attribute access, so the renderer
+    # and the assertions below work on them directly.
+    by_packets = {record.buffer_packets: record for record in results}
     print()
     print(render_fig5(by_packets))
     # Paper shape: the uplink is pinned near 100% at every size; the

@@ -8,7 +8,7 @@ from repro.core.paper_data import FIG7A_LISTENS, FIG7B_LISTENS, FIG7B_TALKS
 from repro.core.registry import get
 from repro.core.voip_study import render_fig7
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_fig7b_upload_activity(benchmark):
@@ -18,9 +18,9 @@ def test_fig7b_upload_activity(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig7(results, "up", buffers, workloads=workloads))
     rows = []
@@ -50,9 +50,9 @@ def test_fig7a_download_activity(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig7(results, "down", buffers, workloads=workloads))
     rows = []

@@ -8,7 +8,7 @@ from repro.core.paper_data import FIG8
 from repro.core.registry import get
 from repro.core.voip_study import render_fig8
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_fig8(benchmark):
@@ -17,9 +17,9 @@ def test_fig8(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig8(results, buffers, workloads=workloads))
     rows = []

@@ -8,7 +8,7 @@ from repro.core.paper_data import FIG9A_HD, FIG9A_SD
 from repro.core.registry import get
 from repro.core.video_study import render_fig9
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_fig9a_access(benchmark):
@@ -17,9 +17,9 @@ def test_fig9a_access(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig9(results, "access", buffers, workloads=workloads))
     rows = []
@@ -51,9 +51,9 @@ def test_fig9b_backbone(benchmark):
     buffers = spec.buffer_axis()
 
     def run():
-        return spec.run(runner=grid_runner())
+        return run_registered(spec.name)
 
-    results = run_once(benchmark, run)
+    results = run_once(benchmark, run).to_mapping()
     print()
     print(render_fig9(results, "backbone", buffers, workloads=workloads))
     # noBG and light load stream cleanly; the sustained long workload

@@ -9,15 +9,16 @@ from repro.core.paper_data import TABLE1_ACCESS, TABLE1_BACKBONE
 from repro.core.registry import get
 from repro.core.study import table1_rows_for
 
-from benchmarks.common import comparison_table, grid_runner, run_once
+from benchmarks.common import comparison_table, run_once, run_registered
 
 
 def test_table1_access(benchmark):
     spec = get("table1-access")
 
     def run():
-        results = spec.run(runner=grid_runner())
-        rows = table1_rows_for(spec.scenario_axis(), list(results.values()))
+        results = run_registered("table1-access")
+        rows = table1_rows_for(spec.scenario_axis(),
+                               [record.report for record in results])
         return {(row["workload"], row["direction"]): row for row in rows}
 
     reports = run_once(benchmark, run)
@@ -41,8 +42,9 @@ def test_table1_backbone(benchmark):
     spec = get("table1-backbone")
 
     def run():
-        results = spec.run(runner=grid_runner())
-        rows = table1_rows_for(spec.scenario_axis(), list(results.values()))
+        results = run_registered("table1-backbone")
+        rows = table1_rows_for(spec.scenario_axis(),
+                               [record.report for record in results])
         return {row["workload"]: row for row in rows}
 
     reports = run_once(benchmark, run)

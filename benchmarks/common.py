@@ -21,6 +21,7 @@ the simulations entirely.  Set ``REPRO_CACHE=0`` to force recomputation
 and ``REPRO_PROGRESS=1`` for per-cell progress/ETA lines.
 """
 
+from repro import api
 from repro.core.registry import resolve_scale
 from repro.runner import GridRunner
 
@@ -33,6 +34,17 @@ def scale():
 def grid_runner(**kwargs):
     """The benchmarks' shared grid configuration (env-driven defaults)."""
     return GridRunner(**kwargs)
+
+
+def run_registered(name, runner=None):
+    """Run a registered sweep through the stable facade.
+
+    Returns the typed :class:`repro.results.set.ResultSet`; call
+    ``.to_mapping()`` where a renderer wants the legacy ``{cell key:
+    value}`` dict.  Same tasks, same cache entries as ``python -m repro
+    run <name>``.
+    """
+    return api.run_sweep(name, runner=runner or grid_runner())
 
 
 def scaled_duration(base, minimum=4.0):

@@ -9,28 +9,33 @@ the user experience.
 Run:  python examples/backbone_sweep.py   (takes a couple of minutes)
 """
 
-from repro.core.scenarios import backbone_scenario
-from repro.core.voip_study import median_mos, run_voip_cell
-from repro.core.web_study import run_web_cell
+from repro import api
+from repro.core.registry import adhoc_sweep, backbone
 
 
 def main(workloads=("noBG", "short-medium", "long"),
          buffers=(8, 749, 7490),  # ~TinyBuf / BDP / 10x BDP
          warmup=10.0, voip_duration=5.0, fetches=3):
     """Score VoIP and web per (workload, buffer); times in seconds."""
+    scenarios = [backbone(w) for w in workloads]
+    voip = api.run_sweep(adhoc_sweep(
+        "example-backbone-voip", "voip", scenarios=scenarios,
+        buffers=buffers, seed=3, warmup=warmup, duration=voip_duration,
+        params=(("calls", 1), ("directions", ("listens",)))), scale=1.0)
+    web = api.run_sweep(adhoc_sweep(
+        "example-backbone-web", "web", scenarios=scenarios,
+        buffers=buffers, seed=5, warmup=warmup,
+        params=(("fetches", fetches),)), scale=1.0)
+
     print("%-14s %-6s %-10s %-12s" % ("workload", "buf", "VoIP MOS",
                                       "web PLT"))
     for workload in workloads:
-        scenario = backbone_scenario(workload)
         for packets in buffers:
-            voip = run_voip_cell(scenario, packets, calls=1, warmup=warmup,
-                                 duration=voip_duration, seed=3,
-                                 directions=("listens",))
-            web = run_web_cell(scenario, packets, fetches=fetches,
-                               warmup=warmup, seed=5)
+            call = voip[(workload, packets)]
+            page = web[(workload, packets)]
             print("%-14s %-6d %-10.1f %6.2f s (MOS %.1f)"
-                  % (workload, packets, median_mos(voip["listens"]),
-                     web["median_plt"], web["mos"]))
+                  % (workload, packets, call.mos("listens"),
+                     page.median_plt, page.mos))
         print()
 
 

@@ -5,22 +5,29 @@ prints the two heatmap halves ("user talks" / "user listens"), showing
 the paper's key asymmetry: the uplink queue delays *both* directions of
 the conversation through the delay impairment z2.
 
-The grid runs through the parallel cached runner; the full registered
-version of this sweep is ``python -m repro run fig7b``.
+The grid runs through the stable ``repro.api`` facade (parallel cached
+runner underneath); the full registered version of this sweep is
+``python -m repro run fig7b``.
 
 Run:  python examples/bufferbloat_voip.py
 """
 
-from repro.core.voip_study import fig7_grid, render_fig7
+from repro import api
+from repro.core.registry import access, adhoc_sweep
+from repro.core.voip_study import render_fig7
 
 
 def main(buffers=(8, 32, 64, 256), workloads=("noBG", "long-few", "long-many"),
          warmup=10.0, duration=6.0, runner=None):
     """Render the miniature Figure 7b; times in simulated seconds."""
-    results = fig7_grid("up", buffers, workloads=workloads, calls=1,
-                        warmup=warmup, duration=duration, seed=3,
-                        runner=runner)
-    print(render_fig7(results, "up", buffers, workloads=workloads))
+    spec = adhoc_sweep(
+        "example-fig7b", "voip",
+        scenarios=[access(w, "up") for w in workloads],
+        buffers=buffers, seed=3, warmup=warmup, duration=duration,
+        params=(("calls", 1), ("directions", ("talks", "listens"))))
+    results = api.run_sweep(spec, scale=1.0, runner=runner)
+    print(render_fig7(results.to_mapping(), "up", buffers,
+                      workloads=workloads))
     print()
     print("Markers: + fine   o degraded   ! bad (Figure 6a bands)")
     print("Compare with the paper's Figure 7b: talks collapses to ~1.0 at")

@@ -8,27 +8,31 @@ survives loss slightly better than SD, as the paper observes.
 Run:  python examples/iptv_video.py
 """
 
-from repro.core.scenarios import access_scenario
-from repro.core.video_study import run_video_cell
+from repro import api
+from repro.core.registry import access, adhoc_sweep
 
 
 def main(workloads=("noBG", "short-few", "long-few", "long-many"),
          resolutions=("SD", "HD"), buffers=(8, 256), duration=6.0,
          warmup=6.0):
     """Print one SSIM/MOS row per cell; times in simulated seconds."""
+    spec = adhoc_sweep(
+        "example-iptv", "video",
+        scenarios=[access(w, "down") for w in workloads],
+        buffers=buffers, seed=4, warmup=warmup, duration=duration,
+        params=(("clip", "C"),),
+        axes=(("resolution", tuple(resolutions)),))
+    results = api.run_sweep(spec, scale=1.0)
+
     print("%-12s %-4s %-6s %-6s %-6s %-9s" %
           ("workload", "res", "buf", "SSIM", "MOS", "pkt loss"))
     for workload in workloads:
-        scenario = access_scenario(workload, "down")
         for resolution in resolutions:
             for packets in buffers:
-                cell = run_video_cell(scenario, packets,
-                                      resolution=resolution,
-                                      duration=duration, warmup=warmup,
-                                      seed=4)
+                cell = results[(workload, packets, resolution)]
                 print("%-12s %-4s %-6d %-6.2f %-6.1f %-9.3f" %
-                      (workload, resolution, packets, cell["ssim"],
-                       cell["mos"], cell["packet_loss"]))
+                      (workload, resolution, packets, cell.ssim,
+                       cell.mos, cell.packet_loss))
 
 
 if __name__ == "__main__":

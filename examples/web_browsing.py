@@ -9,8 +9,8 @@ often doesn't care, because 5 s and 9 s are both "bad".
 Run:  python examples/web_browsing.py
 """
 
-from repro.core.scenarios import access_scenario
-from repro.core.web_study import run_web_cell
+from repro import api
+from repro.core.registry import access, adhoc_sweep
 from repro.qoe.scales import mos_class
 
 CASES = (
@@ -23,14 +23,16 @@ CASES = (
 def main(cases=CASES, buffers=(8, 64, 256), fetches=5, warmup=8.0):
     """Print PLT/MOS per (case, buffer); warmup in simulated seconds."""
     for workload, activity, label in cases:
-        scenario = access_scenario(workload, activity)
-        print("%s — %s" % (scenario, label))
-        for packets in buffers:
-            cell = run_web_cell(scenario, packets, fetches=fetches,
-                                warmup=warmup, seed=5)
+        spec = adhoc_sweep(
+            "example-web-%s-%s" % (workload, activity), "web",
+            scenarios=[access(workload, activity)], buffers=buffers,
+            seed=5, warmup=warmup, params=(("fetches", fetches),))
+        results = api.run_sweep(spec, scale=1.0)
+        print("%s — %s" % (results[0].scenario, label))
+        for record in results:
             print("  buffer %3d pkts: median PLT %5.2f s -> MOS %.1f (%s)"
-                  % (packets, cell["median_plt"], cell["mos"],
-                     mos_class(cell["mos"])))
+                  % (record.buffer_packets, record.median_plt, record.mos,
+                     mos_class(record.mos)))
         print()
 
 

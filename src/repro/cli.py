@@ -8,12 +8,18 @@ Subcommands
     Full scale-resolved description of one sweep; ``--hashes`` also
     prints each cell's content hash (the result-cache key input).
 ``run NAME``
-    Execute a sweep through :class:`repro.runner.grid.GridRunner` and
-    print one summary line per cell.  ``--workers/--no-cache/--progress``
-    map to the runner knobs; ``--workloads/--buffers/--discipline/
-    --duration/--warmup/--seed`` override the spec's axes for ad-hoc
-    runs (overridden runs use different cache keys than the registered
-    grid, by design).
+    Execute a sweep through :func:`repro.api.run_sweep` and print one
+    summary line per cell (``--format table``, the default), or the
+    full results as ``--format csv|json``.
+    ``--workers/--no-cache/--progress`` map to the runner knobs;
+    ``--workloads/--buffers/--discipline/--duration/--warmup/--seed``
+    override the spec's axes for ad-hoc runs (overridden runs use
+    different cache keys than the registered grid, by design).
+``export NAME``
+    Run (or, with ``--cached-only``, load) a sweep and write its
+    :class:`repro.results.set.ResultSet` as CSV or JSON — to stdout or
+    ``--output FILE``.  Accepts the same runner knobs and axis
+    overrides as ``run``.
 ``figures``
     Regenerate the paper's ASCII figures/tables from their registered
     sweeps (all of them, or the names given).
@@ -31,12 +37,12 @@ runtime failure.
 import argparse
 import json
 import sys
-from dataclasses import asdict, is_dataclass, replace
 
+from repro import api
 from repro.core import registry
 from repro.core.registry import REGISTRY, resolve_scale
+from repro.results import key_str
 from repro.runner import GridRunner
-from repro.runner.task import DISCIPLINES
 
 
 # ---------------------------------------------------------------------------
@@ -59,40 +65,22 @@ def _parse_csv(text, parse=lambda token: token):
                  if token.strip())
 
 
-def _apply_overrides(spec, args, scale):
-    """Resolve the spec's axes at ``scale`` and apply CLI overrides."""
-    scenarios = spec.scenario_axis(scale)
-    buffers = spec.buffer_axis(scale)
+def _overrides_from(args):
+    """The ``repro.api.apply_overrides`` kwargs encoded in CLI flags."""
+    overrides = {}
     if getattr(args, "workloads", None):
-        wanted = _parse_csv(args.workloads)
-        unknown = set(wanted) - {s.key for s in scenarios}
-        if unknown:
-            raise SystemExit("unknown workload label(s) %s (have: %s)" % (
-                ", ".join(sorted(unknown)),
-                ", ".join(s.key for s in scenarios)))
-        scenarios = tuple(s for s in scenarios if s.key in wanted)
+        overrides["workloads"] = _parse_csv(args.workloads)
     if getattr(args, "buffers", None):
-        buffers = _parse_csv(args.buffers, _parse_buffer)
-    changes = {"scenarios": scenarios, "scenarios_small": None,
-               "buffers": buffers, "buffers_small": None}
+        overrides["buffers"] = _parse_csv(args.buffers, _parse_buffer)
     if getattr(args, "duration", None) is not None:
-        # A literal window at any scale: the floor alone carries the
-        # value, so resolved_duration == args.duration even under
-        # REPRO_SCALE > 1.
-        changes["duration"] = 0.0
-        changes["duration_min"] = args.duration
+        overrides["duration"] = args.duration
     if getattr(args, "warmup", None) is not None:
-        changes["warmup"] = args.warmup
+        overrides["warmup"] = args.warmup
     if getattr(args, "seed", None) is not None:
-        changes["seed"] = args.seed
+        overrides["seed"] = args.seed
     if getattr(args, "discipline", None):
-        disciplines = _parse_csv(args.discipline)
-        unknown = set(disciplines) - set(DISCIPLINES)
-        if unknown:
-            raise SystemExit("unknown discipline(s) %s (have: %s)" % (
-                ", ".join(sorted(unknown)), ", ".join(DISCIPLINES)))
-        changes["disciplines"] = disciplines
-    return replace(spec, **changes)
+        overrides["disciplines"] = _parse_csv(args.discipline)
+    return overrides
 
 
 def _runner_from(args):
@@ -102,41 +90,34 @@ def _runner_from(args):
                       else None)
 
 
-def _key_str(key):
-    return "/".join(str(part) for part in key)
+def _run_through_api(args, runner=None):
+    """Resolve/override/run one sweep for ``run``/``export``.
+
+    Returns ``(resolved spec, scale, ResultSet)`` — the spec already has
+    the CLI's axis overrides applied, so its cell count is the expected
+    result size.
+    """
+    spec = _get_spec(args.name)
+    scale = resolve_scale() if args.scale is None else args.scale
+    try:
+        spec = api.apply_overrides(spec, scale=scale,
+                                   **_overrides_from(args))
+        if getattr(args, "cached_only", False):
+            results = api.load_sweep(spec, scale=scale)
+        else:
+            results = api.run_sweep(spec, scale=scale, runner=runner)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return spec, scale, results
 
 
-def _summary(kind, payload):
-    """One-line human summary of a cell result."""
-    if kind == "qos":
-        return ("down util %5.1f%%  up util %5.1f%%  loss %5.2f%%/%5.2f%%  "
-                "mean delay %4.0f/%4.0f ms" % (
-                    payload.down_utilization * 100,
-                    payload.up_utilization * 100,
-                    payload.down_loss * 100, payload.up_loss * 100,
-                    payload.down_mean_delay * 1000,
-                    payload.up_mean_delay * 1000))
-    if kind == "voip":
-        parts = ["%s MOS %.1f" % (direction, mos)
-                 for direction, mos in sorted(payload.items())
-                 if isinstance(mos, float)]
-        parts += ["m2e %s %.0f ms" % (direction, delay * 1000)
-                  for direction, delay in sorted(
-                      payload.get("delay", {}).items())]
-        return "  ".join(parts)
-    if kind == "video":
-        return "SSIM %.2f  MOS %.1f  pkt loss %.1f%%" % (
-            payload["ssim"], payload["mos"], payload["packet_loss"] * 100)
-    if kind == "web":
-        return "median PLT %.2f s  MOS %.1f" % (
-            payload["median_plt"], payload["mos"])
-    return str(payload)
-
-
-def _jsonable_result(payload):
-    if is_dataclass(payload):
-        return asdict(payload)
-    return payload
+def _print_runner_stats(runner):
+    stats = runner.last_stats
+    print("[%d cells: %d cached, %d computed, %.1f s on %d worker%s]"
+          % (stats["cells"], stats["cached"], stats["computed"],
+             stats["elapsed"], stats["workers"],
+             "" if stats["workers"] == 1 else "s"),
+          file=sys.stderr)
 
 
 def _get_spec(name):
@@ -178,7 +159,7 @@ def cmd_describe(args):
     description = spec.describe(scale)
     if args.hashes:
         description["cell_hashes"] = {
-            _key_str(key): task.content_hash()
+            key_str(key): task.content_hash()
             for key, task in zip(spec.cells(scale), spec.tasks(scale))}
     if args.json:
         print(json.dumps(description, indent=2))
@@ -208,24 +189,48 @@ def cmd_describe(args):
 
 
 def cmd_run(args):
-    spec = _get_spec(args.name)
-    scale = resolve_scale() if args.scale is None else args.scale
-    spec = _apply_overrides(spec, args, scale)
     runner = _runner_from(args)
-    results = spec.run(runner=runner, scale=scale)
-    if args.json:
-        print(json.dumps({_key_str(key): _jsonable_result(payload)
-                          for key, payload in results.items()}, indent=2))
+    spec, __, results = _run_through_api(args, runner=runner)
+    fmt = args.format or ("json" if args.json else "table")
+    if fmt == "json":
+        print(json.dumps({key_str(record.key): record.payload
+                          for record in results}, indent=2))
+    elif fmt == "csv":
+        print(results.to_csv(), end="")
     else:
         print("%s — %s (%d cells)" % (spec.name, spec.title, len(results)))
-        for key, payload in results.items():
-            print("  %-40s %s" % (_key_str(key), _summary(spec.kind, payload)))
-    stats = runner.last_stats
-    print("[%d cells: %d cached, %d computed, %.1f s on %d worker%s]"
-          % (stats["cells"], stats["cached"], stats["computed"],
-             stats["elapsed"], stats["workers"],
-             "" if stats["workers"] == 1 else "s"),
-          file=sys.stderr)
+        for record in results:
+            print("  %-40s %s" % (key_str(record.key), record.summary()))
+    _print_runner_stats(runner)
+    return 0
+
+
+def cmd_export(args):
+    runner = _runner_from(args)
+    spec, scale, results = _run_through_api(args, runner=runner)
+    if args.cached_only:
+        expected = spec.cell_count(scale)
+        if not results:
+            print("export %s: no cached cells (run the sweep first, or "
+                  "drop --cached-only)" % spec.name, file=sys.stderr)
+            return 1
+        if len(results) < expected:
+            # A partial grid must never pass silently for analysis.
+            print("export %s: partial grid — only %d of %d cells cached"
+                  % (spec.name, len(results), expected), file=sys.stderr)
+    if args.format == "json":
+        text = results.to_json(indent=2) + "\n"
+    else:
+        text = results.to_csv()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %d records to %s" % (len(results), args.output),
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    if not args.cached_only:
+        _print_runner_stats(runner)
     return 0
 
 
@@ -323,8 +328,8 @@ def cmd_figures(args):
             raise SystemExit("no renderer for %r (have: %s)" % (
                 name, ", ".join(sorted(FIGURES) + ["table2"])))
         spec = _get_spec(name)
-        results = spec.run(runner=runner, scale=scale)
-        print(FIGURES[name](results, spec, scale))
+        results = api.run_sweep(spec, scale=scale, runner=runner)
+        print(FIGURES[name](results.to_mapping(), spec, scale))
         print()
     return 0
 
@@ -384,6 +389,21 @@ def _add_runner_arguments(parser):
                         help="fidelity multiplier (default: REPRO_SCALE)")
 
 
+def _add_override_arguments(parser):
+    parser.add_argument("--workloads", help="comma-separated workload labels "
+                                            "(subset of the sweep's axis)")
+    parser.add_argument("--buffers", help="comma-separated buffer sizes in "
+                                          "packets; DOWN:UP pairs allowed")
+    parser.add_argument("--discipline", help="comma-separated queue "
+                                             "disciplines "
+                                             "(droptail/red/codel)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="measurement window override, simulated seconds")
+    parser.add_argument("--warmup", type=float, default=None,
+                        help="warm-up override, simulated seconds")
+    parser.add_argument("--seed", type=int, default=None)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -411,19 +431,28 @@ def build_parser():
                                      "runner and print per-cell summaries")
     run.add_argument("name")
     _add_runner_arguments(run)
-    run.add_argument("--workloads", help="comma-separated workload labels "
-                                         "(subset of the sweep's axis)")
-    run.add_argument("--buffers", help="comma-separated buffer sizes in "
-                                       "packets; DOWN:UP pairs allowed")
-    run.add_argument("--discipline", help="comma-separated queue "
-                                          "disciplines (droptail/red/codel)")
-    run.add_argument("--duration", type=float, default=None,
-                     help="measurement window override, simulated seconds")
-    run.add_argument("--warmup", type=float, default=None,
-                     help="warm-up override, simulated seconds")
-    run.add_argument("--seed", type=int, default=None)
-    run.add_argument("--json", action="store_true")
+    _add_override_arguments(run)
+    run.add_argument("--format", choices=("table", "csv", "json"),
+                     default=None,
+                     help="output format (default: table)")
+    run.add_argument("--json", action="store_true",
+                     help="alias for --format json")
     run.set_defaults(fn=cmd_run)
+
+    export = sub.add_parser(
+        "export", help="run (or load from cache) a sweep and write its "
+                       "typed results as CSV or JSON")
+    export.add_argument("name")
+    _add_runner_arguments(export)
+    _add_override_arguments(export)
+    export.add_argument("--format", choices=("csv", "json"), default="csv",
+                        help="export format (default: csv)")
+    export.add_argument("--output", "-o", default=None,
+                        help="write to FILE instead of stdout")
+    export.add_argument("--cached-only", action="store_true",
+                        help="export cached cells only; never simulate "
+                             "(repro.api.load_sweep)")
+    export.set_defaults(fn=cmd_export)
 
     figures = sub.add_parser(
         "figures", help="regenerate the paper's ASCII figures/tables")

@@ -10,7 +10,16 @@ runner reads the ``REPRO_WORKERS`` / ``REPRO_CACHE`` env knobs.
 Units: ``warmup`` and ``duration`` are simulated seconds; buffer sizes
 are packets; utilizations and loss rates are fractions in ``[0, 1]``;
 queueing delays are seconds.
+
+.. deprecated::
+    The dict-returning grid functions (:func:`fig4_delay_grid`,
+    :func:`fig5_utilization`, :func:`table1_rows`) are shims over
+    :func:`repro.api.run_sweep` and will be removed; call the facade and
+    work with its typed :class:`repro.results.set.ResultSet` instead.
+    The renderers and row assemblers here are *not* deprecated.
 """
+
+import warnings
 
 from repro.core.buffers import (
     ACCESS_BUFFERS,
@@ -35,6 +44,20 @@ def buffer_sizes(buffers):
     return [getattr(config, "packets", config) for config in buffers]
 
 
+def _deprecated_grid(name):
+    warnings.warn(
+        "%s() is deprecated: run the sweep through repro.api.run_sweep "
+        "and use the returned ResultSet (to_mapping() gives this dict "
+        "shape)" % name, DeprecationWarning, stacklevel=3)
+
+
+def _run_mapping(spec, runner):
+    """Run an ad-hoc spec through the facade; legacy dict shape back."""
+    from repro import api
+
+    return api.run_sweep(spec, scale=1.0, runner=runner).to_mapping()
+
+
 def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
                     warmup=5.0, duration=20.0, seed=0, runner=None):
     """Figure 4: mean queueing delay per (workload, buffer size).
@@ -42,13 +65,16 @@ def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
     ``direction`` is the congestion direction: ``"down"``, ``"bidir"``
     or ``"up"`` (the paper's three heatmaps); ``warmup``/``duration``
     are simulated seconds.  Returns ``{(workload, packets): QosReport}``.
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("fig4_delay_grid")
     spec = adhoc_sweep(
         "adhoc-fig4", "qos",
         scenarios=[ScenarioSpec("access", w, direction) for w in workloads],
         buffers=buffer_sizes(buffers or ACCESS_BUFFERS),
         seed=seed, warmup=warmup, duration=duration)
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def render_fig4(results, direction, buffers=None, workloads=FIG4_WORKLOADS):
@@ -83,13 +109,16 @@ def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0,
 
     Returns ``{packets: QosReport}`` (reports carry the per-second
     samples for the boxplots).
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("fig5_utilization")
     spec = adhoc_sweep(
         "adhoc-fig5", "qos",
         scenarios=[ScenarioSpec("access", "long-many", "bidir")],
         buffers=buffer_sizes(buffers or ACCESS_BUFFERS),
         seed=seed, warmup=warmup, duration=duration)
-    results = spec.run(runner=runner, scale=1.0)
+    results = _run_mapping(spec, runner)
     return {packets: report for (__, packets), report in results.items()}
 
 
@@ -164,7 +193,10 @@ def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
     Returns a list of dicts, one per (workload, direction) row; see
     :func:`table1_specs` for the ``workloads`` format.  ``warmup`` and
     ``duration`` are simulated seconds.
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("table1_rows")
     specs = table1_specs(testbed, include_overload=include_overload,
                          workloads=workloads)
     # Per-direction BDP buffers, as in the paper: (64 down, 8 up) on the
@@ -173,7 +205,7 @@ def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
     sweep = adhoc_sweep("adhoc-table1-%s" % testbed, "qos",
                         scenarios=specs, buffers=[buffer_packets],
                         seed=seed, warmup=warmup, duration=duration)
-    results = sweep.run(runner=runner, scale=1.0)
+    results = _run_mapping(sweep, runner)
     return table1_rows_for(specs, list(results.values()))
 
 

@@ -5,6 +5,7 @@ import numpy as np
 from repro.apps.video import VideoStream, clip_frames
 from repro.core.experiment import build_network
 from repro.core.registry import ScenarioSpec, adhoc_sweep
+from repro.core.study import _deprecated_grid, _run_mapping
 from repro.core.workloads import apply_workload
 from repro.media.codec import decode
 from repro.qoe.psnr import psnr_sequence
@@ -60,7 +61,10 @@ def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
 
     ``testbed`` is ``"access"`` (9a, download activity) or ``"backbone"``
     (9b).
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("fig9_grid")
     if workloads is None:
         workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
     spec = adhoc_sweep(
@@ -69,7 +73,7 @@ def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
         buffers=buffers, seed=seed, warmup=warmup, duration=duration,
         params=(("clip", clip),),
         axes=(("resolution", tuple(resolutions)),))
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def render_fig9(results, testbed, buffers, workloads=None,

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.experiment import build_network
 from repro.core.registry import ScenarioSpec, adhoc_sweep
+from repro.core.study import _deprecated_grid, _run_mapping
 from repro.core.workloads import apply_workload
 from repro.apps.voip import VoipCall
 from repro.qoe.scales import heat_marker_from_mos
@@ -97,24 +98,31 @@ def fig7_grid(activity, buffers, workloads=FIG7_WORKLOADS, calls=2,
     §7.2); ``warmup``/``duration`` are simulated seconds, ``buffers``
     packet counts.  Returns
     ``{(workload, packets): {"talks": mos, "listens": mos, ...}}``.
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("fig7_grid")
     spec = adhoc_sweep(
         "adhoc-fig7", "voip",
         scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
         buffers=buffers, seed=seed, warmup=warmup, duration=duration,
         params=(("calls", calls), ("directions", ("talks", "listens"))))
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def fig8_grid(buffers, workloads=FIG8_WORKLOADS, calls=2, warmup=5.0,
               duration=8.0, seed=0, runner=None):
-    """Figure 8: backbone VoIP MOS (unidirectional, server -> client)."""
+    """Figure 8: backbone VoIP MOS (unidirectional, server -> client).
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
+    """
+    _deprecated_grid("fig8_grid")
     spec = adhoc_sweep(
         "adhoc-fig8", "voip",
         scenarios=[ScenarioSpec("backbone", w) for w in workloads],
         buffers=buffers, seed=seed, warmup=warmup, duration=duration,
         params=(("calls", calls), ("directions", ("listens",))))
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def render_fig7(results, activity, buffers, workloads=FIG7_WORKLOADS):

@@ -5,6 +5,7 @@ import numpy as np
 from repro.apps.web import PageFetch, WebServer
 from repro.core.experiment import build_network
 from repro.core.registry import ScenarioSpec, adhoc_sweep
+from repro.core.study import _deprecated_grid, _run_mapping
 from repro.core.workloads import apply_workload
 from repro.qoe.scales import heat_marker_from_mos
 from repro.qoe.web import g1030_mos, min_plt_for
@@ -67,24 +68,31 @@ def fig10_grid(activity, buffers, workloads=FIG10_WORKLOADS, fetches=10,
     """Figure 10: access WebQoE per (workload, buffer).
 
     ``activity`` is ``"down"`` (10a), ``"up"`` (10b) or ``"bidir"``.
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
     """
+    _deprecated_grid("fig10_grid")
     spec = adhoc_sweep(
         "adhoc-fig10", "web",
         scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
         buffers=buffers, seed=seed, warmup=warmup, duration=0.0,
         params=(("fetches", fetches),))
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def fig11_grid(buffers, workloads=FIG11_WORKLOADS, fetches=10, warmup=5.0,
                seed=0, runner=None):
-    """Figure 11: backbone WebQoE."""
+    """Figure 11: backbone WebQoE.
+
+    .. deprecated:: use :func:`repro.api.run_sweep`.
+    """
+    _deprecated_grid("fig11_grid")
     spec = adhoc_sweep(
         "adhoc-fig11", "web",
         scenarios=[ScenarioSpec("backbone", w) for w in workloads],
         buffers=buffers, seed=seed, warmup=warmup, duration=0.0,
         params=(("fetches", fetches),))
-    return spec.run(runner=runner, scale=1.0)
+    return _run_mapping(spec, runner)
 
 
 def render_fig10(results, activity, buffers, workloads=FIG10_WORKLOADS,

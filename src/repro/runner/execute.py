@@ -18,6 +18,11 @@ once the payload is built.
 import gc
 from dataclasses import asdict
 
+# Canonical payload→JSON conversion lives in repro.results.convert;
+# re-exported here because workers and older call sites import it from
+# the execution module.
+from repro.results.convert import jsonify
+
 
 def queue_factory_for(discipline):
     """Map a discipline name to a ``capacity_packets -> Queue`` factory.
@@ -35,32 +40,6 @@ def queue_factory_for(discipline):
 
         return lambda capacity: CoDelQueue(capacity_packets=capacity)
     raise ValueError("unknown queue discipline %r" % (discipline,))
-
-
-def jsonify(value):
-    """Convert a result payload to pure JSON types.
-
-    Numpy scalars become Python floats/ints and tuples become lists, so a
-    payload is bit-identical whether it comes straight from a worker or
-    back out of the JSON cache.
-    """
-    # Exact type checks: np.float64 subclasses float but must still be
-    # converted so fresh and cache-loaded payloads are indistinguishable.
-    if value is None or type(value) in (bool, int, float, str):
-        return value
-    if isinstance(value, dict):
-        return {key: jsonify(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [jsonify(item) for item in value]
-    import numpy as np
-
-    if isinstance(value, np.floating):
-        return float(value)
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, np.ndarray):
-        return [jsonify(item) for item in value.tolist()]
-    raise TypeError("cell payload is not JSON-serializable: %r" % (value,))
 
 
 # ---------------------------------------------------------------------------
@@ -145,17 +124,10 @@ def execute_task(task):
 # ---------------------------------------------------------------------------
 # Revivers: payload -> the value the study layer consumes.
 # ---------------------------------------------------------------------------
-def _revive_qos(task, payload):
-    from repro.core.experiment import QosReport
-
-    fields = dict(payload)
-    # JSON turned a (down, up) tuple into a list; restore from the task.
-    fields["buffer_packets"] = task.buffer_packets
-    return QosReport(**fields)
-
-
 def revive(task, payload):
     """Rebuild the study-layer result object from a cell payload."""
     if task.kind == "qos":
-        return _revive_qos(task, payload)
+        from repro.results.record import revive_qos
+
+        return revive_qos(payload, task.buffer_packets)
     return payload

@@ -14,6 +14,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from repro.results.record import record_from_payload
 from repro.runner.cache import ResultCache
 from repro.runner.execute import execute_task, revive
 
@@ -66,60 +67,125 @@ class GridRunner:
 
     # ------------------------------------------------------------------
     def run(self, tasks):
-        """Execute every task; returns results aligned with ``tasks``."""
+        """Execute every task; returns results aligned with ``tasks``.
+
+        A thin collector over :meth:`iter_run`'s payload stream: results
+        are revived study-layer values (``QosReport`` for qos cells,
+        payload dicts otherwise) in task order.
+        """
         tasks = list(tasks)
         payloads = [None] * len(tasks)
-
-        pending = []
-        for index, task in enumerate(tasks):
-            payload = self.cache.get(task) if self._caching else None
-            if payload is None:
-                pending.append(index)
-            else:
-                payloads[index] = payload
-        cached = len(tasks) - len(pending)
-
-        self._say("running %d cells (%d cached) on %d worker%s" % (
-            len(tasks), cached, self.workers,
-            "" if self.workers == 1 else "s"))
-        started = time.monotonic()
-        if self.workers == 1 or len(pending) <= 1:
-            for done, index in enumerate(pending, start=1):
-                payloads[index] = execute_task(tasks[index])
-                self._finish(tasks[index], payloads[index],
-                             done, len(pending), started)
-        elif pending:
-            pool_size = min(self.workers, len(pending))
-            failure = None
-            done = 0
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                futures = {pool.submit(execute_task, tasks[index]): index
-                           for index in pending}
-                for future in as_completed(futures):
-                    index = futures[future]
-                    try:
-                        payloads[index] = future.result()
-                    except BaseException as exc:
-                        # Keep draining so sibling cells that already
-                        # finished still reach the cache; re-raise after.
-                        if failure is None:
-                            failure = exc
-                        continue
-                    done += 1
-                    self._finish(tasks[index], payloads[index],
-                                 done, len(pending), started)
-            if failure is not None:
-                raise failure
-
-        self.last_stats = {
-            "cells": len(tasks),
-            "cached": cached,
-            "computed": len(pending),
-            "workers": self.workers,
-            "elapsed": time.monotonic() - started,
-        }
+        for index, payload in self._iter_payloads(tasks):
+            payloads[index] = payload
         return [revive(task, payload)
                 for task, payload in zip(tasks, payloads)]
+
+    def iter_run(self, tasks, keys=None):
+        """Yield ``(task, record)`` pairs as cells complete.
+
+        Cache hits stream first (in task order), then computed cells in
+        completion order — so incremental consumers (progress UIs,
+        :class:`repro.results.set.StreamAggregator`) see results as soon
+        as they exist, in constant memory.  Records are typed
+        :mod:`repro.results.record` values; ``keys`` optionally supplies
+        the sweep cell key stored on each record, aligned with
+        ``tasks``.  Each record carries its task ``index``, so
+        :meth:`repro.results.set.ResultSet.from_stream` reproduces batch
+        :meth:`run` ordering exactly.
+
+        Failure semantics match :meth:`run`: on a worker failure the
+        remaining in-flight siblings are still drained (and yielded),
+        then the first failure is re-raised; ``last_stats`` is populated
+        (with ``failed=True``) either way.  ``last_stats`` is written
+        when the stream is fully consumed.
+        """
+        tasks = list(tasks)
+        for index, payload in self._iter_payloads(tasks):
+            key = keys[index] if keys is not None else None
+            yield tasks[index], record_from_payload(
+                tasks[index], payload, key=key, index=index)
+
+    def _iter_payloads(self, tasks):
+        """Yield ``(task index, payload)`` as cells complete.
+
+        Cache hits stream one at a time during the scan (nothing is
+        buffered, so a warm million-cell grid aggregates in constant
+        memory); pending cells follow from the pool or the serial path.
+        """
+        started = time.monotonic()
+        pending = []
+        cached = 0
+        done = 0
+
+        def stats(failed=False):
+            self.last_stats = {
+                "cells": len(tasks),
+                "cached": cached,
+                "computed": done if failed else len(pending),
+                "workers": self.workers,
+                "elapsed": time.monotonic() - started,
+                "failed": failed,
+            }
+
+        try:
+            for index, task in enumerate(tasks):
+                payload = self.cache.get(task) if self._caching else None
+                if payload is None:
+                    pending.append(index)
+                else:
+                    cached += 1
+                    yield index, payload
+            self._say("running %d cells (%d cached) on %d worker%s" % (
+                len(tasks), cached, self.workers,
+                "" if self.workers == 1 else "s"))
+            if self.workers == 1 or len(pending) <= 1:
+                for index in pending:
+                    payload = execute_task(tasks[index])
+                    done += 1
+                    self._finish(tasks[index], payload,
+                                 done, len(pending), started)
+                    yield index, payload
+            elif pending:
+                pool_size = min(self.workers, len(pending))
+                failure = None
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    futures = {pool.submit(execute_task, tasks[index]): index
+                               for index in pending}
+                    try:
+                        for future in as_completed(futures):
+                            index = futures[future]
+                            try:
+                                payload = future.result()
+                            except BaseException as exc:
+                                # Keep draining so sibling cells that
+                                # already finished still reach the cache
+                                # (and the consumer); re-raise after.
+                                if failure is None:
+                                    failure = exc
+                                continue
+                            done += 1
+                            self._finish(tasks[index], payload,
+                                         done, len(pending), started)
+                            yield index, payload
+                    except GeneratorExit:
+                        # The consumer abandoned the stream mid-grid:
+                        # drop every queued cell so pool shutdown only
+                        # waits for the handful already running.
+                        for future in futures:
+                            future.cancel()
+                        raise
+                if failure is not None:
+                    raise failure
+        except GeneratorExit:
+            # A deliberately abandoned stream is not a failure; leave
+            # last_stats untouched (it reflects fully-consumed runs).
+            raise
+        except BaseException:
+            # Populate the stats of the partial run before re-raising so
+            # callers can still report cells/cached/computed/elapsed.
+            stats(failed=True)
+            raise
+        stats()
 
     # ------------------------------------------------------------------
     @property

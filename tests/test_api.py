@@ -1,0 +1,224 @@
+"""Tests for the stable facade (repro.api) and streaming grid runs."""
+
+import pytest
+
+from repro import api
+from repro.core.registry import access, adhoc_sweep
+from repro.results import ResultSet, StreamAggregator
+from repro.runner import GridRunner, ResultCache
+
+
+def tiny_spec(buffers=(8, 16), duration=2.0):
+    return adhoc_sweep("api-test", "qos",
+                       scenarios=[access("long-few", "down")],
+                       buffers=buffers, seed=3, warmup=1.0,
+                       duration=duration)
+
+
+def runner_for(tmp_path, workers=1):
+    return GridRunner(workers=workers, progress=False,
+                      cache=ResultCache(directory=str(tmp_path / "cache"),
+                                        enabled=True))
+
+
+class TestRunSweep:
+    def test_matches_legacy_spec_run(self, tmp_path):
+        spec = tiny_spec()
+        results = api.run_sweep(spec, scale=1.0,
+                                runner=runner_for(tmp_path / "a"))
+        legacy = spec.run(runner=runner_for(tmp_path / "b"), scale=1.0)
+        assert results.keys() == list(legacy)
+        assert results.to_mapping() == legacy
+
+    def test_accepts_registry_names_and_overrides(self, tmp_path):
+        results = api.run_sweep(
+            "wireless-qos", scale=1.0,
+            overrides={"workloads": ("long-few",), "buffers": (8,),
+                       "duration": 2.0, "warmup": 1.0},
+            runner=runner_for(tmp_path))
+        assert results.keys() == [("long-few", 8)]
+        assert results[("long-few", 8)].payload["duration"] == 2.0
+
+    def test_unknown_override_labels_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="mystery"):
+            api.run_sweep("wireless-qos", scale=1.0,
+                          overrides={"workloads": ("mystery",)},
+                          runner=runner_for(tmp_path))
+        with pytest.raises(ValueError, match="fifo"):
+            api.run_sweep("wireless-qos", scale=1.0,
+                          overrides={"disciplines": ("fifo",)},
+                          runner=runner_for(tmp_path))
+
+    def test_duration_override_is_literal_above_scale_one(self):
+        spec = api.apply_overrides(tiny_spec(), scale=4.0, duration=2.0)
+        assert spec.resolved_duration(scale=4.0) == 2.0
+
+
+class TestStreaming:
+    def test_iter_sweep_equals_run_sweep(self, tmp_path):
+        spec = tiny_spec()
+        batch = api.run_sweep(spec, scale=1.0,
+                              runner=runner_for(tmp_path / "a"))
+        streamed = ResultSet.from_stream(
+            api.iter_sweep(spec, scale=1.0,
+                           runner=runner_for(tmp_path / "b")))
+        assert streamed == batch
+        assert streamed.keys() == batch.keys()
+
+    def test_stream_aggregation_over_iter_sweep(self, tmp_path):
+        spec = tiny_spec()
+        agg = StreamAggregator("down_utilization", by="buffer")
+        agg.consume(api.iter_sweep(spec, scale=1.0,
+                                   runner=runner_for(tmp_path)))
+        stats = agg.result()
+        assert set(stats) == {8, 16}
+        assert all(entry["count"] == 1 for entry in stats.values())
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_iter_run_bit_identical_to_run(self, tmp_path, workers):
+        """Satellite: iter_run vs run equivalence at 1 and 4 workers."""
+        spec = tiny_spec(buffers=(8, 12, 16, 24), duration=1.0)
+        tasks = spec.tasks(1.0)
+        batch = runner_for(tmp_path / "a", workers=workers).run(tasks)
+        runner = runner_for(tmp_path / "b", workers=workers)
+        streamed = ResultSet.from_stream(
+            runner.iter_run(tasks, keys=spec.cells(1.0)))
+        # from_stream restores task order, so records align with batch.
+        assert len(streamed) == len(batch)
+        for record, revived in zip(streamed, batch):
+            assert record.report == revived  # bit-identical payloads
+        assert [r.index for r in streamed] == [0, 1, 2, 3]
+        assert runner.last_stats["failed"] is False
+
+    def test_iter_run_streams_cache_hits_lazily(self, tmp_path):
+        # Constant-memory contract: the cache scan must not pre-load
+        # every hit before the first yield.
+        spec = tiny_spec(duration=1.0)
+        tasks = spec.tasks(1.0)
+        cache = ResultCache(directory=str(tmp_path / "cache"), enabled=True)
+        GridRunner(workers=1, cache=cache, progress=False).run(tasks)
+
+        reads = []
+        original = cache.get
+        cache.get = lambda task: reads.append(task) or original(task)
+        stream = GridRunner(workers=1, cache=cache,
+                            progress=False).iter_run(tasks)
+        next(stream)
+        assert len(reads) == 1  # second hit not touched yet
+        stream.close()
+
+    def test_abandoning_iter_run_cancels_queued_cells(self, tmp_path):
+        # Breaking out of the stream must not compute the whole grid:
+        # queued pool futures are cancelled on GeneratorExit.
+        spec = tiny_spec(buffers=(8, 12, 16, 24, 32, 48), duration=1.0)
+        tasks = spec.tasks(1.0)
+        cache = ResultCache(directory=str(tmp_path / "cache"), enabled=True)
+        runner = GridRunner(workers=2, cache=cache, progress=False)
+        for __, record in runner.iter_run(tasks):
+            break  # abandon after the first completed cell
+        # Only the cells that actually ran reached the cache; the
+        # cancelled tail never executed.
+        finished = sum(1 for task in tasks if cache.get(task) is not None)
+        assert finished < len(tasks)
+        # A deliberate abandon is not a failure.
+        assert runner.last_stats.get("failed") is not True
+
+    def test_iter_run_yields_cache_hits_first(self, tmp_path):
+        spec = tiny_spec(duration=1.0)
+        tasks = spec.tasks(1.0)
+        cache = ResultCache(directory=str(tmp_path / "cache"), enabled=True)
+        warm = GridRunner(workers=1, cache=cache, progress=False)
+        warm.run([tasks[1]])  # only the *second* task is cached
+        runner = GridRunner(workers=1, cache=cache, progress=False)
+        order = [task.buffer_packets
+                 for task, __ in runner.iter_run(tasks)]
+        assert order == [16, 8]  # hit streams before the computed cell
+        assert runner.last_stats["cached"] == 1
+        assert runner.last_stats["computed"] == 1
+
+
+class TestLoadSweep:
+    def test_cache_only_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(directory=str(tmp_path / "cache"), enabled=True)
+        ran = api.run_sweep(spec, scale=1.0,
+                            runner=GridRunner(workers=1, cache=cache,
+                                              progress=False))
+        loaded = api.load_sweep(spec, scale=1.0, cache=cache, strict=True)
+        assert loaded == ran
+
+    def test_misses_skip_or_raise(self, tmp_path):
+        spec = tiny_spec()
+        cache = ResultCache(directory=str(tmp_path / "empty"), enabled=True)
+        assert len(api.load_sweep(spec, scale=1.0, cache=cache)) == 0
+        with pytest.raises(KeyError, match="not cached"):
+            api.load_sweep(spec, scale=1.0, cache=cache, strict=True)
+
+
+class TestDeprecatedStudyShims:
+    """The old dict-returning grid entry points still work, but warn."""
+
+    def nocache_runner(self):
+        return GridRunner(workers=1, use_cache=False, progress=False)
+
+    def test_fig4_shim_warns_and_matches_facade(self, tmp_path):
+        from repro.core.study import fig4_delay_grid
+
+        with pytest.warns(DeprecationWarning, match="run_sweep"):
+            legacy = fig4_delay_grid("down", buffers=(8,),
+                                     workloads=("noBG",), warmup=0.5,
+                                     duration=1.0, seed=3,
+                                     runner=self.nocache_runner())
+        facade = api.run_sweep(
+            adhoc_sweep("t", "qos", [access("noBG", "down")], [8], seed=3,
+                        warmup=0.5, duration=1.0),
+            scale=1.0, runner=self.nocache_runner())
+        assert legacy == facade.to_mapping()
+
+    def test_voip_and_web_shims_warn(self):
+        from repro.core.voip_study import fig7_grid
+        from repro.core.web_study import fig10_grid
+
+        with pytest.warns(DeprecationWarning, match="fig7_grid"):
+            results = fig7_grid("up", (8,), workloads=("noBG",), calls=1,
+                                warmup=0.5, duration=1.0, seed=3,
+                                runner=self.nocache_runner())
+        assert set(results) == {("noBG", 8)}
+        with pytest.warns(DeprecationWarning, match="fig10_grid"):
+            results = fig10_grid("down", (8,), workloads=("noBG",),
+                                 fetches=1, warmup=0.5, seed=5,
+                                 runner=self.nocache_runner())
+        assert results[("noBG", 8)]["median_plt"] > 0.0
+
+    def test_remaining_shims_warn(self):
+        import warnings
+
+        from repro.core.study import fig5_utilization, table1_rows
+        from repro.core.video_study import fig9_grid
+        from repro.core.voip_study import fig8_grid
+        from repro.core.web_study import fig11_grid
+
+        calls = [
+            lambda: fig5_utilization(buffers=[8], warmup=0.5, duration=1.0,
+                                     seed=1, runner=self.nocache_runner()),
+            lambda: table1_rows("access", warmup=0.5, duration=1.0, seed=1,
+                                workloads=[("noBG", "down")],
+                                runner=self.nocache_runner()),
+            lambda: fig8_grid((749,), workloads=("noBG",), calls=1,
+                              warmup=0.5, duration=1.0, seed=3,
+                              runner=self.nocache_runner()),
+            lambda: fig9_grid("access", (8,), workloads=("noBG",),
+                              resolutions=("SD",), duration=1.0,
+                              warmup=0.5, seed=4,
+                              runner=self.nocache_runner()),
+            lambda: fig11_grid((749,), workloads=("noBG",), fetches=1,
+                               warmup=0.5, seed=5,
+                               runner=self.nocache_runner()),
+        ]
+        for call in calls:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = call()
+            assert result  # shim still returns the legacy shape
+            assert any(issubclass(w.category, DeprecationWarning)
+                       for w in caught)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command line (repro.cli)."""
 
+import csv
+import io
 import json
 
 import pytest
@@ -113,3 +115,86 @@ class TestRun:
                      "1", "--no-cache"])
         assert code == 0
         assert "long-few/(16, 4)" in capsys.readouterr().out
+
+    def test_format_json_matches_json_flag(self, capsys):
+        argv = ["run", "wireless-qos", "--workloads", "long-few",
+                "--buffers", "8", "--duration", "2", "--warmup", "1"]
+        assert main(argv + ["--json"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(argv + ["--format", "json"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_format_csv(self, capsys):
+        code = main(["run", "wireless-qos", "--workloads", "long-few",
+                     "--buffers", "8", "--duration", "2", "--warmup", "1",
+                     "--format", "csv"])
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert len(rows) == 1
+        assert rows[0]["key"] == "long-few/8"
+        assert float(rows[0]["down_utilization"]) > 0.0
+
+
+#: One tiny export per cell kind (the CI smoke runs the same quartet).
+EXPORT_CASES = {
+    "qos": ["export", "wireless-qos", "--workloads", "long-few",
+            "--buffers", "8", "--duration", "1", "--warmup", "0.5"],
+    "voip": ["export", "fig7a", "--workloads", "noBG", "--buffers", "8",
+             "--duration", "1", "--warmup", "0.5"],
+    "video": ["export", "fig9a", "--workloads", "noBG", "--buffers", "8",
+              "--duration", "1", "--warmup", "0.5"],
+    "web": ["export", "fig10b", "--workloads", "noBG", "--buffers", "8",
+            "--warmup", "0.5"],
+}
+
+
+class TestExport:
+    @pytest.mark.parametrize("kind", sorted(EXPORT_CASES))
+    def test_csv_per_kind_is_parseable_and_nonempty(self, kind, capsys):
+        assert main(EXPORT_CASES[kind]) == 0
+        rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+        assert rows, "export produced an empty CSV"
+        assert all(row["kind"] == kind for row in rows)
+        # Every row carries at least one parseable numeric metric.
+        metric = {"qos": "down_utilization", "voip": "listens",
+                  "video": "ssim", "web": "median_plt"}[kind]
+        for row in rows:
+            float(row[metric])
+
+    def test_json_format(self, capsys):
+        assert main(EXPORT_CASES["qos"] + ["--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 1
+        assert entries[0]["kind"] == "qos"
+        assert entries[0]["payload"]["duration"] == 1.0
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out.csv"
+        assert main(EXPORT_CASES["qos"] + ["--output", str(target)]) == 0
+        assert "wrote 1 records" in capsys.readouterr().err
+        rows = list(csv.DictReader(target.open()))
+        assert len(rows) == 1
+
+    def test_cached_only_round_trip(self, capsys):
+        # Cold cache: nothing to export.
+        argv = EXPORT_CASES["qos"]
+        assert main(argv + ["--cached-only"]) == 1
+        capsys.readouterr()
+        # Run once (fills the isolated cache), then export cache-only.
+        assert main(argv) == 0
+        ran = capsys.readouterr().out
+        assert main(argv + ["--cached-only"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ran
+        assert "partial" not in captured.err  # full grid, no warning
+
+    def test_cached_only_partial_grid_is_reported(self, capsys):
+        # Cache only one of two cells, then export the two-cell grid.
+        one = EXPORT_CASES["qos"]
+        assert main(one) == 0
+        capsys.readouterr()
+        two = [arg if arg != "8" else "8,16" for arg in one]
+        assert main(two + ["--cached-only"]) == 0
+        captured = capsys.readouterr()
+        assert "partial grid — only 1 of 2 cells cached" in captured.err
+        assert len(captured.out.strip().splitlines()) == 2  # header + 1 row

@@ -41,11 +41,27 @@ def test_readme_links_the_docs():
     readme = read("README.md")
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/SCENARIOS.md" in readme
+    assert "docs/RESULTS.md" in readme
     assert "python -m repro" in readme
+
+
+def test_readme_quickstart_uses_the_facade():
+    readme = read("README.md")
+    assert "api.run_sweep" in readme
+    assert "python -m repro export" in readme
 
 
 def test_architecture_doc_covers_the_layers():
     architecture = read("docs/ARCHITECTURE.md")
     for module in ("repro.sim", "repro.tcp", "repro.qoe", "repro.runner",
-                   "repro.core.registry", "repro.cli"):
+                   "repro.core.registry", "repro.cli", "repro.results",
+                   "repro.api"):
         assert module in architecture, module
+
+
+def test_results_doc_covers_the_api():
+    results = read("docs/RESULTS.md")
+    for name in ("run_sweep", "iter_sweep", "load_sweep", "ResultSet",
+                 "StreamAggregator", "to_csv", "to_mapping",
+                 "QosResult", "VoipResult", "VideoResult", "WebResult"):
+        assert name in results, name

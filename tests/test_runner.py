@@ -196,6 +196,52 @@ class TestGridRunner:
         assert cache.get(qos_task(48)) is not None
         assert cache.get(qos_task(32)) is None
 
+    def test_failed_run_still_populates_last_stats(self, tmp_path,
+                                                   monkeypatch):
+        # Regression: a worker failure used to leave last_stats at its
+        # previous value (empty on a fresh runner), so callers reporting
+        # cells/cached/elapsed crashed or lied after a failed grid.
+        import repro.runner.grid as grid_module
+
+        monkeypatch.setattr(grid_module, "execute_task", _flaky_execute)
+        cache = ResultCache(directory=str(tmp_path), enabled=True)
+        runner = GridRunner(workers=2, cache=cache, progress=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run([qos_task(16), qos_task(32), qos_task(48)])
+        stats = runner.last_stats
+        assert stats["failed"] is True
+        assert stats["cells"] == 3
+        assert stats["cached"] == 0
+        assert stats["computed"] == 2  # siblings finished before re-raise
+        assert stats["elapsed"] > 0.0
+
+        # Serial path: the failure aborts immediately, stats still land.
+        serial = GridRunner(workers=1, cache=ResultCache(
+            directory=str(tmp_path / "serial"), enabled=True),
+            progress=False)
+        with pytest.raises(RuntimeError, match="boom"):
+            serial.run([qos_task(32), qos_task(16)])
+        assert serial.last_stats["failed"] is True
+        assert serial.last_stats["cells"] == 2
+        assert serial.last_stats["computed"] == 0
+
+    def test_successful_run_reports_not_failed(self, tmp_path):
+        runner = fresh_runner(tmp_path, workers=1)
+        runner.run([qos_task(16)])
+        assert runner.last_stats["failed"] is False
+        assert runner.last_stats["computed"] == 1
+
+    def test_run_is_a_collector_over_the_payload_stream(self, tmp_path):
+        # run() and iter_run() must agree cell for cell.
+        tasks = [qos_task(16), qos_task(32)]
+        batch = fresh_runner(tmp_path / "a", workers=1).run(tasks)
+        streamed = list(fresh_runner(tmp_path / "b",
+                                     workers=1).iter_run(tasks))
+        assert [task for task, __ in streamed] == tasks
+        for (__, record), revived in zip(streamed, batch):
+            assert record.report == revived
+            assert record.kind == "qos"
+
     def test_progress_lines_report_cells_and_eta(self, tmp_path):
         lines = []
         runner = fresh_runner(tmp_path, workers=1, progress=True,
