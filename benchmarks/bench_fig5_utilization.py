@@ -6,7 +6,7 @@ entries) that ``python -m repro run fig5`` executes.
 
 from repro.core.study import render_fig5
 
-from benchmarks.common import run_once, run_registered
+from benchmarks.common import fidelity_line, run_once, run_registered
 
 
 def test_fig5(benchmark):
@@ -19,6 +19,7 @@ def test_fig5(benchmark):
     by_packets = {record.buffer_packets: record for record in results}
     print()
     print(render_fig5(by_packets))
+    fidelity_line("fig5", results)
     # Paper shape: the uplink is pinned near 100% at every size; the
     # downlink suffers when the uplink buffer bloats the ACK path, and
     # small buffers underutilize relative to the best configuration.

@@ -66,6 +66,27 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def fidelity_line(figure, results):
+    """Print (and return) the report layer's verdict for one sweep.
+
+    ``results`` is the sweep's ResultSet; figures without digitized
+    paper data report SKIP.  This is the same scoring ``python -m repro
+    report`` runs — a benchmark session and the report agree by
+    construction.
+    """
+    from repro.report import fidelity
+
+    check = fidelity.check_for(figure)
+    scored = (fidelity.evaluate(check, results) if check is not None
+              else fidelity.skip(figure))
+    gates = ", ".join("%s %.3g" % (name, gate["value"])
+                      for name, gate in scored.gates.items())
+    text = "fidelity %s: %s%s" % (figure, scored.verdict,
+                                  " (%s)" % gates if gates else "")
+    print(text)
+    return text
+
+
 def comparison_table(title, headers, rows):
     """Print an aligned paper-vs-measured table (shown with ``-s``)."""
     widths = [len(h) for h in headers]

@@ -14,6 +14,9 @@ the CLI, the benchmarks, the examples and downstream analysis code::
 
     cached = api.load_sweep("fig5")                  # cache-only, no sims
 
+    api.generate_report(out_dir="report")            # SVG figures +
+                                                     # fidelity verdicts
+
 Sweeps are named registry entries (``python -m repro list``) or explicit
 :class:`repro.core.registry.SweepSpec` objects (e.g. from
 :func:`repro.core.registry.adhoc_sweep`).  ``overrides`` narrows or
@@ -153,3 +156,17 @@ def load_sweep(name_or_spec, *, scale=None, overrides=None, cache=None,
         records.append(record_from_payload(task, payload, key=key,
                                            index=index))
     return ResultSet(records)
+
+
+def generate_report(names=None, out_dir="report", **kwargs):
+    """Build the SVG reproduction report (stable facade entry point).
+
+    Thin passthrough to :func:`repro.report.build.generate_report` —
+    ``index.md`` + one SVG per paper figure + ``fidelity.json`` with
+    PASS/WARN/FAIL verdicts against the digitized paper data; accepts
+    the same ``cached_only``/``scale``/``runner``/``sample`` keywords.
+    Imported lazily so ``repro.api`` stays cheap for runner workers.
+    """
+    from repro.report.build import generate_report as _generate
+
+    return _generate(names, out_dir, **kwargs)

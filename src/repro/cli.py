@@ -22,7 +22,16 @@ Subcommands
     overrides as ``run``.
 ``figures``
     Regenerate the paper's ASCII figures/tables from their registered
-    sweeps (all of them, or the names given).
+    sweeps (all of them, or the names given), through
+    :func:`repro.api.run_sweep` — the sweeps land in the shared result
+    cache, so a later ``report`` re-simulates nothing.
+``report``
+    Build the SVG reproduction report (``index.md`` + one SVG per
+    figure + ``fidelity.json`` with PASS/WARN/FAIL verdicts against the
+    paper's digitized values) into ``--output DIR``.  ``--cached-only``
+    renders from the result cache without ever simulating;
+    ``--sample`` regenerates the pinned tiny sample committed under
+    ``docs/sample_report/``.  See ``docs/REPORTING.md``.
 ``perf``
     Sim-core performance tooling: run the events/sec benchmark and
     write ``BENCH_simcore.json`` (``--quick`` for the CI smoke mode,
@@ -334,6 +343,35 @@ def cmd_figures(args):
     return 0
 
 
+def cmd_report(args):
+    from repro.report.build import generate_report, validate_selection
+
+    # Usage errors exit cleanly here; anything generate_report raises
+    # beyond this point is a real bug and must keep its traceback.
+    try:
+        validate_selection(args.names, sample=args.sample,
+                           scale=args.scale)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    runner = None if args.cached_only else _runner_from(args)
+    summary = generate_report(
+        args.names or None, args.output,
+        cached_only=args.cached_only,
+        scale=args.scale, runner=runner, sample=args.sample)
+    tally = summary["verdicts"]
+    # No trailing runner-stats line: GridRunner.last_stats only covers
+    # the final sweep; the per-figure report lines above already carry
+    # cached/computed counts.
+    print("wrote %s (%d figures: %s)" % (
+        summary["out_dir"], len(summary["figures"]),
+        ", ".join("%d %s" % (count, verdict)
+                  for verdict, count in sorted(tally.items()))),
+        file=sys.stderr)
+    if args.strict and tally.get("FAIL"):
+        return 1
+    return 0
+
+
 def cmd_perf(args):
     from repro.perf import bench as bench_module
     from repro.perf.profile import SORT_KEYS, profile_cell
@@ -440,8 +478,9 @@ def build_parser():
     run.set_defaults(fn=cmd_run)
 
     export = sub.add_parser(
-        "export", help="run (or load from cache) a sweep and write its "
-                       "typed results as CSV or JSON")
+        "export", help="run (repro.api.run_sweep) or load from cache "
+                       "(repro.api.load_sweep) a sweep and write its "
+                       "typed ResultSet as CSV or JSON")
     export.add_argument("name")
     _add_runner_arguments(export)
     _add_override_arguments(export)
@@ -455,11 +494,36 @@ def build_parser():
     export.set_defaults(fn=cmd_export)
 
     figures = sub.add_parser(
-        "figures", help="regenerate the paper's ASCII figures/tables")
+        "figures", help="regenerate the paper's ASCII figures/tables "
+                        "from their registered sweeps (repro.api."
+                        "run_sweep under the hood; see `report` for the "
+                        "SVG + fidelity version)")
     figures.add_argument("names", nargs="*",
                          help="figure sweeps to render (default: all)")
     _add_runner_arguments(figures)
     figures.set_defaults(fn=cmd_figures)
+
+    report = sub.add_parser(
+        "report", help="build the SVG reproduction report: index.md + "
+                       "per-figure SVGs + fidelity.json verdicts vs the "
+                       "paper's digitized values")
+    report.add_argument("names", nargs="*",
+                        help="figures to include (default: all "
+                             "reportable figures)")
+    report.add_argument("--output", "-o", default="report",
+                        help="report directory (default: report/)")
+    report.add_argument("--cached-only", action="store_true",
+                        help="render from cached cells only; never "
+                             "simulate (partial grids are reported, "
+                             "not fatal)")
+    report.add_argument("--sample", action="store_true",
+                        help="regenerate the pinned tiny sample "
+                             "(docs/sample_report/): fixed figures, "
+                             "axes and durations, scale 1.0")
+    report.add_argument("--strict", action="store_true",
+                        help="exit 1 if any figure verdict is FAIL")
+    _add_runner_arguments(report)
+    report.set_defaults(fn=cmd_report)
 
     perf = sub.add_parser(
         "perf", help="sim-core benchmark (BENCH_simcore.json) and "

@@ -165,6 +165,40 @@ FIG11 = _grid(BACKBONE_WORKLOAD_ROWS, BACKBONE_BUFFER_SIZES, [
 ])
 
 # ---------------------------------------------------------------------------
+# Digitized-grid index: sweep name -> {series label: {(row, col): value}}.
+#
+# This index feeds the SVG report figures' per-cell paper overlays
+# (repro.report.figures); the series labels match the reproduced result
+# columns drawn next to them (VoIP call directions, video resolutions,
+# web PLT).  The fidelity *checks* are declared separately — and more
+# richly, with thresholds, key mappings and Table-1/fig4-down special
+# cases this simple index cannot express — in
+# repro.report.fidelity.CHECKS; when transcribing new paper data, add
+# it here for the overlay AND declare a FigureCheck for the verdict.
+# ---------------------------------------------------------------------------
+DIGITIZED = {
+    "fig4-up": {"uplink": FIG4_UP_ONLY_UPLINK},
+    "fig7a": {"listens": FIG7A_LISTENS, "talks": FIG7A_TALKS},
+    "fig7b": {"listens": FIG7B_LISTENS, "talks": FIG7B_TALKS},
+    "fig8": {"listens": FIG8},
+    "fig9a": {"SD": FIG9A_SD, "HD": FIG9A_HD},
+    "fig9b": {"SD": FIG9B_SD, "HD": FIG9B_HD},
+    "fig10a": {"median PLT": FIG10A},
+    "fig10b": {"median PLT": FIG10B},
+    "fig11": {"median PLT": FIG11},
+}
+
+#: Buffer sizes the paper's discussion highlights (§6–§7): the uplink
+#: BDP, the downlink BDP and the bufferbloat extreme on access; tiny /
+#: Stanford / BDP / 10x BDP on the backbone.  Fidelity trend checks are
+#: anchored at the smallest/largest highlighted size of each testbed.
+HIGHLIGHT_BUFFERS = {
+    "access": (8, 64, 256),
+    "backbone": (8, 749, 7490),
+}
+
+
+# ---------------------------------------------------------------------------
 # Section 3 (Figure 1) headline statistics.
 # ---------------------------------------------------------------------------
 WILD_STATS = {

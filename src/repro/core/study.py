@@ -44,11 +44,17 @@ def buffer_sizes(buffers):
     return [getattr(config, "packets", config) for config in buffers]
 
 
-def _deprecated_grid(name):
+def _deprecated_grid(name, replacement):
+    """Warn that shim ``name`` is deprecated, naming its replacement.
+
+    ``replacement`` is the concrete ``repro.api`` call (e.g.
+    ``'repro.api.run_sweep("fig5")'``) so callers can migrate without
+    hunting through the registry for the sweep name.
+    """
     warnings.warn(
-        "%s() is deprecated: run the sweep through repro.api.run_sweep "
-        "and use the returned ResultSet (to_mapping() gives this dict "
-        "shape)" % name, DeprecationWarning, stacklevel=3)
+        "%s() is deprecated: use %s and the returned ResultSet "
+        "(.to_mapping() gives this dict shape)" % (name, replacement),
+        DeprecationWarning, stacklevel=3)
 
 
 def _run_mapping(spec, runner):
@@ -68,7 +74,8 @@ def fig4_delay_grid(direction, buffers=None, workloads=FIG4_WORKLOADS,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig4_delay_grid")
+    _deprecated_grid("fig4_delay_grid",
+                     "repro.api.run_sweep(\"fig4-up\"/\"fig4-down\")")
     spec = adhoc_sweep(
         "adhoc-fig4", "qos",
         scenarios=[ScenarioSpec("access", w, direction) for w in workloads],
@@ -112,7 +119,7 @@ def fig5_utilization(buffers=None, warmup=5.0, duration=20.0, seed=0,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig5_utilization")
+    _deprecated_grid("fig5_utilization", "repro.api.run_sweep(\"fig5\")")
     spec = adhoc_sweep(
         "adhoc-fig5", "qos",
         scenarios=[ScenarioSpec("access", "long-many", "bidir")],
@@ -196,7 +203,8 @@ def table1_rows(testbed, warmup=5.0, duration=20.0, seed=0,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("table1_rows")
+    _deprecated_grid("table1_rows",
+                     "repro.api.run_sweep(\"table1-access\"/\"table1-backbone\")")
     specs = table1_specs(testbed, include_overload=include_overload,
                          workloads=workloads)
     # Per-direction BDP buffers, as in the paper: (64 down, 8 up) on the

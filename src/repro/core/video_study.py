@@ -64,7 +64,7 @@ def fig9_grid(testbed, buffers, workloads=None, resolutions=("SD", "HD"),
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig9_grid")
+    _deprecated_grid("fig9_grid", "repro.api.run_sweep(\"fig9a\"/\"fig9b\")")
     if workloads is None:
         workloads = FIG9A_WORKLOADS if testbed == "access" else FIG9B_WORKLOADS
     spec = adhoc_sweep(

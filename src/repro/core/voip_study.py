@@ -101,7 +101,7 @@ def fig7_grid(activity, buffers, workloads=FIG7_WORKLOADS, calls=2,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig7_grid")
+    _deprecated_grid("fig7_grid", "repro.api.run_sweep(\"fig7a\"/\"fig7b\")")
     spec = adhoc_sweep(
         "adhoc-fig7", "voip",
         scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
@@ -116,7 +116,7 @@ def fig8_grid(buffers, workloads=FIG8_WORKLOADS, calls=2, warmup=5.0,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig8_grid")
+    _deprecated_grid("fig8_grid", "repro.api.run_sweep(\"fig8\")")
     spec = adhoc_sweep(
         "adhoc-fig8", "voip",
         scenarios=[ScenarioSpec("backbone", w) for w in workloads],

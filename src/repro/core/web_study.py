@@ -71,7 +71,7 @@ def fig10_grid(activity, buffers, workloads=FIG10_WORKLOADS, fetches=10,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig10_grid")
+    _deprecated_grid("fig10_grid", "repro.api.run_sweep(\"fig10a\"/\"fig10b\")")
     spec = adhoc_sweep(
         "adhoc-fig10", "web",
         scenarios=[ScenarioSpec("access", w, activity) for w in workloads],
@@ -86,7 +86,7 @@ def fig11_grid(buffers, workloads=FIG11_WORKLOADS, fetches=10, warmup=5.0,
 
     .. deprecated:: use :func:`repro.api.run_sweep`.
     """
-    _deprecated_grid("fig11_grid")
+    _deprecated_grid("fig11_grid", "repro.api.run_sweep(\"fig11\")")
     spec = adhoc_sweep(
         "adhoc-fig11", "web",
         scenarios=[ScenarioSpec("backbone", w) for w in workloads],

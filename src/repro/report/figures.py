@@ -1,0 +1,349 @@
+"""SVG builders for every reportable paper artifact.
+
+Each entry of :data:`REPORT_FIGURES` describes one report figure: which
+registered sweep feeds it (``sweep`` — None for the closed-form
+Table 2) and how its :class:`repro.results.set.ResultSet` is drawn
+(``build(results, spec, scale) -> SVG markup``).  The drawings follow
+the paper's figure styles — per-(workload, buffer) heatmaps with the
+traffic-light colouring of :data:`repro.viz.heatmap.MARKER_COLORS`,
+Figure 5's utilization-vs-buffer chart, and side-by-side
+measured-vs-paper tables — and overlay the digitized paper value
+(small, grey) in every cell where :data:`repro.core.paper_data`
+transcribes one.
+
+Builders tolerate partial results (``--cached-only`` on a cold cache):
+cells absent from the set render as neutral empty boxes, so a report is
+always producible and visibly honest about its coverage.
+"""
+
+from dataclasses import dataclass
+
+from repro.core import paper_data
+from repro.core.paper_data import DIGITIZED
+from repro.qoe.scales import heat_marker_from_delay, heat_marker_from_mos
+from repro.report import svg
+
+
+@dataclass(frozen=True)
+class ReportFigure:
+    """One renderable report figure."""
+
+    name: str
+    sweep: str  # registered sweep feeding it; None for closed-form
+    title: str
+    build: callable  # build(results, spec, scale) -> SVG string
+
+
+def _strip_key(key):
+    """Reduce a sweep cell key to the ``(workload, buffer)`` grid cell."""
+    return (key[0], key[1])
+
+
+def _grid(results, column, **filters):
+    """``{(workload, buffer): value}`` for one column, axes pinned by
+    ``filters`` (missing column values are simply absent)."""
+    grid = {}
+    for key, value in results.value_map(column, **filters).items():
+        grid[_strip_key(key)] = value
+    return grid
+
+
+def _paper_overlay(figure, label):
+    """The digitized grid for one series of ``figure`` (or ``{}``)."""
+    return DIGITIZED.get(figure, {}).get(label, {})
+
+
+def _heat_cell(values, markers, paper, fmt):
+    """A heatmap ``cell_fn`` over value/marker grids + paper overlay."""
+    def cell(row, col):
+        value = values.get((row, col))
+        if value is None:
+            return None
+        marker_value = markers.get((row, col), value)
+        text = fmt % value
+        subtext = None
+        if (row, col) in paper:
+            subtext = fmt % paper[(row, col)]
+        return (text, marker_value, subtext)
+    return cell
+
+
+def _axes(results, spec, scale):
+    """Row/column labels: the spec's axes (so missing cells show as
+    gaps), falling back to the result keys for ad-hoc specs."""
+    rows = list(spec.workloads(scale))
+    cols = list(spec.buffer_axis(scale))
+    if not rows or not cols:
+        keys = sorted({_strip_key(key) for key in results.keys()})
+        rows = sorted({row for row, __ in keys})
+        cols = sorted({col for __, col in keys})
+    return rows, cols
+
+
+# ---------------------------------------------------------------------------
+# Heatmap figures.
+# ---------------------------------------------------------------------------
+def _build_fig4(direction):
+    def build(results, spec, scale):
+        rows, cols = _axes(results, spec, scale)
+        panels = []
+        for side, overlay_label in (("up", "uplink"), ("down", "downlink")):
+            delays = _grid(results, "%s_mean_delay" % side)
+            values = {key: value * 1000.0 for key, value in delays.items()}
+            markers = {key: heat_marker_from_delay(value)
+                       for key, value in delays.items()}
+            figure_name = "fig4-%s" % direction
+            panels.append((
+                "mean %sLINK queueing delay [ms]" % side.upper(),
+                rows, cols,
+                _heat_cell(values, markers,
+                           _paper_overlay(figure_name, overlay_label),
+                           "%.0f")))
+        return svg.heatmap_panels(
+            "Figure 4 (%sstream congestion): mean queueing delay"
+            % ("up" if direction == "up" else "down"), panels)
+    return build
+
+
+def _build_voip(figure_name, title):
+    def build(results, spec, scale):
+        rows, cols = _axes(results, spec, scale)
+        directions = dict(spec.params).get("directions",
+                                           ("talks", "listens"))
+        panels = []
+        for direction in directions:
+            values = _grid(results, direction)
+            markers = {key: heat_marker_from_mos(value)
+                       for key, value in values.items()}
+            panels.append(("user %s — median MOS" % direction, rows, cols,
+                           _heat_cell(values, markers,
+                                      _paper_overlay(figure_name,
+                                                     direction),
+                                      "%.1f")))
+        return svg.heatmap_panels(title, panels)
+    return build
+
+
+def _build_video(figure_name, title):
+    def build(results, spec, scale):
+        rows, cols = _axes(results, spec, scale)
+        resolutions = dict(spec.axes).get("resolution", ("SD", "HD"))
+        panels = []
+        for resolution in resolutions:
+            values = _grid(results, "ssim", resolution=resolution)
+            mos = _grid(results, "mos", resolution=resolution)
+            markers = {key: heat_marker_from_mos(value)
+                       for key, value in mos.items()}
+            panels.append(("%s — median SSIM" % resolution, rows, cols,
+                           _heat_cell(values, markers,
+                                      _paper_overlay(figure_name,
+                                                     resolution),
+                                      "%.2f")))
+        return svg.heatmap_panels(title, panels)
+    return build
+
+
+def _build_web(figure_name, title):
+    def build(results, spec, scale):
+        rows, cols = _axes(results, spec, scale)
+        values = _grid(results, "median_plt")
+        mos = _grid(results, "mos")
+        markers = {key: heat_marker_from_mos(value)
+                   for key, value in mos.items()}
+        panel = ("median page-load time [s] (colour: G.1030 MOS)",
+                 rows, cols,
+                 _heat_cell(values, markers,
+                            _paper_overlay(figure_name, "median PLT"),
+                            "%.1f"))
+        return svg.heatmap_panels(title, [panel])
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: utilization vs buffer size (median line + quartile band).
+# ---------------------------------------------------------------------------
+def _build_fig5(results, spec, scale):
+    __, cols = _axes(results, spec, scale)
+    workload = spec.workloads(scale)[0] if spec.workloads(scale) else None
+    series = []
+    for label, method in (("downlink", "down_utilization_boxplot"),
+                          ("uplink", "up_utilization_boxplot")):
+        values, band = [], []
+        for buffer_packets in cols:
+            key = (workload, buffer_packets)
+            try:
+                record = results[key]
+            except KeyError:
+                values.append(None)
+                band.append(None)
+                continue
+            __, q1, median, q3, __ = getattr(record, method)()
+            values.append(median * 100.0)
+            band.append((q1 * 100.0, q3 * 100.0))
+        series.append((label, values, band))
+    return svg.line_chart(
+        "Figure 5: per-second link utilization, bidirectional long "
+        "workload",
+        cols, series, y_label="utilization [%] (median, quartile band)",
+        y_range=(0.0, 102.0), y_ticks=(0, 25, 50, 75, 100))
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2 (measured next to the paper's numbers).
+# ---------------------------------------------------------------------------
+def _pct(value):
+    return "%.1f" % (value * 100.0)
+
+
+def _paper_pct(value):
+    return "%.1f" % value
+
+
+def _build_table1_access(results, spec, scale):
+    rows = []
+    for label in spec.workloads(scale):
+        paper_row = paper_data.TABLE1_ACCESS.get(
+            tuple(label.split("/", 1)))
+        for key in results.keys():
+            if key[0] != label:
+                continue
+            record = results[key]
+            rows.append((
+                label,
+                "%s / %s" % (_pct(record.value("up_utilization")),
+                             _paper_pct(paper_row[0]) if paper_row
+                             else "—"),
+                "%s / %s" % (_pct(record.value("down_utilization")),
+                             _paper_pct(paper_row[1]) if paper_row
+                             else "—"),
+                "%s / %s" % (_pct(record.value("up_loss")),
+                             _paper_pct(paper_row[2]) if paper_row
+                             else "—"),
+                "%s / %s" % (_pct(record.value("down_loss")),
+                             _paper_pct(paper_row[3]) if paper_row
+                             else "—"),
+            ))
+    return svg.table(
+        "Table 1 (access): measured / paper at the BDP buffers (64/8)",
+        ("workload", "up util %", "down util %", "up loss %",
+         "down loss %"), rows,
+        note="each cell: reproduced value / paper value")
+
+
+def _build_table1_backbone(results, spec, scale):
+    rows = []
+    for label in spec.workloads(scale):
+        paper_row = paper_data.TABLE1_BACKBONE.get(label)
+        for key in results.keys():
+            if key[0] != label:
+                continue
+            record = results[key]
+            rows.append((
+                label,
+                "%s / %s" % (_pct(record.value("down_utilization")),
+                             _paper_pct(paper_row[0]) if paper_row
+                             else "—"),
+                "%s / %s" % (_pct(record.value("down_loss")),
+                             _paper_pct(paper_row[2]) if paper_row
+                             else "—"),
+            ))
+    return svg.table(
+        "Table 1 (backbone): measured / paper at the 749-packet BDP "
+        "buffer",
+        ("workload", "down util %", "loss %"), rows,
+        note="each cell: reproduced value / paper value")
+
+
+def _build_table2(results, spec, scale):
+    from repro.core.buffers import (access_buffer_delays,
+                                    backbone_buffer_delays)
+
+    rows = []
+    for packets, up_delay, down_delay in access_buffer_delays():
+        paper = paper_data.TABLE2_ACCESS.get(packets)
+        rows.append(("access %d" % packets,
+                     "%.0f / %s" % (up_delay * 1000.0,
+                                    paper[0] if paper else "—"),
+                     "%.0f / %s" % (down_delay * 1000.0,
+                                    paper[1] if paper else "—")))
+    for packets, delay in backbone_buffer_delays():
+        paper = paper_data.TABLE2_BACKBONE.get(packets)
+        rows.append(("backbone %d" % packets,
+                     "%.1f / %s" % (delay * 1000.0,
+                                    paper if paper is not None else "—"),
+                     ""))
+    return svg.table(
+        "Table 2: maximum queueing delay per buffer size [ms]",
+        ("buffer", "uplink / paper", "downlink / paper"), rows,
+        note="closed-form (repro.core.buffers), no simulation involved; "
+             "backbone rows have a single direction")
+
+
+# ---------------------------------------------------------------------------
+# The figure catalog (report order).
+# ---------------------------------------------------------------------------
+REPORT_FIGURES = {}
+
+
+def _register(figure):
+    REPORT_FIGURES[figure.name] = figure
+    return figure
+
+
+_register(ReportFigure(
+    "fig4-up", "fig4-up",
+    "Figure 4c: mean queueing delay, upstream congestion",
+    _build_fig4("up")))
+_register(ReportFigure(
+    "fig4-down", "fig4-down",
+    "Figure 4a: mean queueing delay, downstream congestion",
+    _build_fig4("down")))
+_register(ReportFigure(
+    "fig5", "fig5",
+    "Figure 5: link utilization, bidirectional long workload",
+    _build_fig5))
+_register(ReportFigure(
+    "table1-access", "table1-access",
+    "Table 1 (access): workload characteristics",
+    _build_table1_access))
+_register(ReportFigure(
+    "table1-backbone", "table1-backbone",
+    "Table 1 (backbone): workload characteristics",
+    _build_table1_backbone))
+_register(ReportFigure(
+    "fig7a", "fig7a", "Figure 7a: access VoIP MOS, download activity",
+    _build_voip("fig7a", "Figure 7a: access VoIP MOS, download "
+                         "activity")))
+_register(ReportFigure(
+    "fig7b", "fig7b",
+    "Figure 7b: access VoIP MOS, upload activity (bufferbloat)",
+    _build_voip("fig7b", "Figure 7b: access VoIP MOS, upload activity "
+                         "(bufferbloat)")))
+_register(ReportFigure(
+    "fig8", "fig8", "Figure 8: backbone VoIP MOS",
+    _build_voip("fig8", "Figure 8: backbone VoIP MOS")))
+_register(ReportFigure(
+    "fig9a", "fig9a", "Figure 9a: access IPTV SSIM",
+    _build_video("fig9a", "Figure 9a: access IPTV SSIM, download "
+                          "activity")))
+_register(ReportFigure(
+    "fig9b", "fig9b", "Figure 9b: backbone IPTV SSIM",
+    _build_video("fig9b", "Figure 9b: backbone IPTV SSIM")))
+_register(ReportFigure(
+    "fig10a", "fig10a", "Figure 10a: access WebQoE, download activity",
+    _build_web("fig10a", "Figure 10a: access WebQoE, download "
+                         "activity")))
+_register(ReportFigure(
+    "fig10b", "fig10b", "Figure 10b: access WebQoE, upload activity",
+    _build_web("fig10b", "Figure 10b: access WebQoE, upload activity")))
+_register(ReportFigure(
+    "fig11", "fig11", "Figure 11: backbone WebQoE",
+    _build_web("fig11", "Figure 11: backbone WebQoE")))
+_register(ReportFigure(
+    "table2", None, "Table 2: buffer sizes and maximum queueing delay",
+    _build_table2))
+
+
+def figure_names():
+    """Reportable figure names in report order."""
+    return list(REPORT_FIGURES)

@@ -115,6 +115,28 @@ class ResultSet:
                                    for record in self._records]
         return list(self._columns[name])
 
+    def value_map(self, column, **filters):
+        """``{cell key: column value}`` for records matching ``filters``.
+
+        The grid shape the report layer consumes: one value per sweep
+        cell key, optionally restricted by equality filters first (e.g.
+        ``value_map("ssim", resolution="SD")``).  Requires sweep-built
+        records (every facade result has keys); duplicate keys after
+        filtering raise ValueError instead of silently overwriting.
+        """
+        subset = self.filter(**filters) if filters else self
+        grid = {}
+        for record in subset:
+            if record.key is None:
+                raise KeyError("records carry no cell keys — build the "
+                               "set through repro.api.run_sweep")
+            if record.key in grid:
+                raise ValueError("duplicate cell key %r in value_map() — "
+                                 "pin the remaining axes with filters"
+                                 % (record.key,))
+            grid[record.key] = record.value(column)
+        return grid
+
     # -- relational verbs ------------------------------------------------
     def filter(self, predicate=None, **columns):
         """Records matching ``predicate`` and every column constraint.

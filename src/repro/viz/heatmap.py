@@ -2,8 +2,21 @@
 
 Cells carry a one-character quality marker mirroring the paper's
 green/orange/red colouring: ``+`` good, ``o`` degraded, ``!`` bad (see
-:mod:`repro.qoe.scales`).
+:mod:`repro.qoe.scales`).  :data:`MARKER_COLORS` is the single source
+of the marker -> colour mapping, shared between these ASCII renderers
+and the SVG report figures (:mod:`repro.report.svg`), so both views of
+a grid stay semantically identical.
 """
+
+#: The paper's traffic-light semantics, keyed by ASCII marker:
+#: ``(label, fill colour, text colour)``.  Fill colours are the muted
+#: pastels used for SVG heatmap cells; text colours are the saturated
+#: variants used for overlays and legends.
+MARKER_COLORS = {
+    "+": ("good", "#c8e6c9", "#1b5e20"),
+    "o": ("degraded", "#ffe0b2", "#e65100"),
+    "!": ("bad", "#ffcdd2", "#b71c1c"),
+}
 
 
 def render_grid(title, row_labels, col_labels, cell_fn, col_header="",

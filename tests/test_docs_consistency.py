@@ -65,3 +65,53 @@ def test_results_doc_covers_the_api():
                  "StreamAggregator", "to_csv", "to_mapping",
                  "QosResult", "VoipResult", "VideoResult", "WebResult"):
         assert name in results, name
+
+
+def test_catalog_cell_counts_and_axes_match_registry():
+    # The SCENARIOS.md table carries cell counts and axis shapes; they
+    # must match what the registry resolves at scale 1 and 4.
+    catalog = read("docs/SCENARIOS.md")
+    rows = {}
+    for line in catalog.splitlines():
+        if line.startswith("| `"):
+            cells = [cell.strip() for cell in line.strip("|").split("|")]
+            rows[cells[0].strip("`")] = cells
+    def axis_shape(spec, scale):
+        parts = ["%dw x %db" % (len(spec.scenario_axis(scale)),
+                                len(spec.buffer_axis(scale)))]
+        for param, values in spec.axes:
+            parts.append("x %d %s" % (len(values), param))
+        if len(spec.disciplines) > 1:
+            parts.append("x %d disciplines" % len(spec.disciplines))
+        return " ".join(parts)
+
+    for name, spec in REGISTRY.items():
+        cells = rows[name]
+        assert cells[3] == "%d / %d" % (spec.cell_count(1.0),
+                                        spec.cell_count(4.0)), name
+        for scale, shape in ((1.0, cells[4].split("→")[0]),
+                             (4.0, cells[4].split("→")[-1])):
+            assert shape.strip() == axis_shape(spec, scale), (name, scale)
+
+
+def test_reporting_doc_covers_the_report_layer():
+    reporting = read("docs/REPORTING.md")
+    from repro.report.fidelity import CHECKS
+    from repro.report.figures import figure_names
+
+    for name in figure_names():
+        assert "`%s`" % name in reporting, name
+    assert set(CHECKS) <= set(figure_names())
+    for term in ("python -m repro report", "--cached-only", "--sample",
+                 "fidelity.json", "fidelity.schema.json",
+                 "max_abs_deviation", "rank_correlation",
+                 "trend_agreement", "PASS", "WARN", "FAIL", "SKIP",
+                 "docs/sample_report", "REPRO_SCALE=4"):
+        assert term in reporting, term
+
+
+def test_reporting_doc_is_linked():
+    assert "docs/REPORTING.md" in read("README.md")
+    assert "REPORTING.md" in read("docs/RESULTS.md")
+    assert "repro.report" in read("docs/ARCHITECTURE.md")
+    assert "python -m repro report" in read("README.md")
